@@ -1,0 +1,539 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the paper's evaluation (see DESIGN.md §4 for the experiment index) and
+// measures the hot paths of the implementation. Each BenchmarkTableN /
+// BenchmarkFigureN target runs a compressed campaign per iteration and
+// logs the regenerated rows or series, so
+//
+//	go test -bench=Table5 -benchtime=1x -v .
+//
+// prints the same shape of output the paper reports. Absolute values are
+// banded by the acceptance tests in internal/core; the benchmarks focus
+// on regeneration and throughput.
+package repro
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/fec"
+	"repro/internal/netsim"
+	"repro/internal/route"
+	"repro/internal/topo"
+	"repro/internal/wire"
+)
+
+// benchDays is the virtual campaign length per benchmark iteration: long
+// enough for every statistic to populate, short enough that a single
+// iteration stays subsecond.
+const benchDays = 0.02
+
+func runCampaign(b *testing.B, d core.Dataset, days float64) *core.Result {
+	b.Helper()
+	cfg := core.DefaultConfig(d, days)
+	cfg.Seed = uint64(1)
+	res, err := core.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkTable5_RON2003 regenerates Table 5's 2003 half: the eight
+// method rows with 1lp/2lp/totlp/clp/lat.
+func BenchmarkTable5_RON2003(b *testing.B) {
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		res = runCampaign(b, core.RON2003, benchDays)
+	}
+	b.Logf("Table 5 (2003)\n%s",
+		analysis.RenderTable5(res.Table5Rows(), res.LatencyLabel()))
+}
+
+// BenchmarkTable5_RON2002 regenerates Table 5's 2002 half from the
+// RONnarrow configuration (17 hosts, the three most promising methods).
+func BenchmarkTable5_RON2002(b *testing.B) {
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		res = runCampaign(b, core.RONnarrow, benchDays)
+	}
+	b.Logf("Table 5 (2002)\n%s",
+		analysis.RenderTable5(res.Table5Rows(), res.LatencyLabel()))
+}
+
+// BenchmarkTable6_HighLossHours regenerates Table 6: counts of hour-long
+// periods above each loss threshold, per method. Hour windows need a
+// longer campaign than the other benches.
+func BenchmarkTable6_HighLossHours(b *testing.B) {
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		res = runCampaign(b, core.RON2003, 0.25)
+	}
+	b.Logf("Table 6\n%s", analysis.RenderTable6(res.Agg.HighLossHours()))
+}
+
+// BenchmarkTable7_RONwide regenerates Table 7: the expanded twelve-method
+// set over the 2002 testbed with round-trip latencies.
+func BenchmarkTable7_RONwide(b *testing.B) {
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		res = runCampaign(b, core.RONwide, benchDays)
+	}
+	b.Logf("Table 7\n%s",
+		analysis.RenderTable5(res.Table5Rows(), res.LatencyLabel()))
+}
+
+// BenchmarkFigure2_PathLossCDF regenerates Figure 2: the CDF of per-path
+// long-term loss rates (2003 vs 2002 testbeds).
+func BenchmarkFigure2_PathLossCDF(b *testing.B) {
+	var c03, c02 *analysis.CDF
+	for i := 0; i < b.N; i++ {
+		c03 = runCampaign(b, core.RON2003, benchDays).Figure2(10)
+		c02 = runCampaign(b, core.RONnarrow, benchDays).Figure2(10)
+	}
+	b.Logf("Figure 2\n%s", analysis.RenderCDFOverlay(
+		"per-path long-term loss CDF (percent)", 0, 7, 15,
+		[]string{"2003 testbed", "2002 testbed"},
+		[]*analysis.CDF{c03, c02}))
+}
+
+// BenchmarkFigure3_WindowCDF regenerates Figure 3: the CDF of 20-minute
+// loss-rate samples per routing method.
+func BenchmarkFigure3_WindowCDF(b *testing.B) {
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		res = runCampaign(b, core.RON2003, 0.1)
+	}
+	b.Logf("Figure 3\n%s", analysis.RenderCDFOverlay(
+		"20-minute loss rate CDF", 0, 1, 11,
+		res.Agg.Methods(), res.Figure3()))
+}
+
+// BenchmarkFigure4_CLPCDF regenerates Figure 4: the per-path conditional
+// loss probability CDF for the two-copy methods.
+func BenchmarkFigure4_CLPCDF(b *testing.B) {
+	var names []string
+	var cdfs []*analysis.CDF
+	for i := 0; i < b.N; i++ {
+		names, cdfs = runCampaign(b, core.RON2003, 0.1).Figure4()
+	}
+	b.Logf("Figure 4\n%s", analysis.RenderCDFOverlay(
+		"per-path CLP CDF (percent)", 0, 100, 11, names, cdfs))
+}
+
+// BenchmarkFigure5_LatencyCDF regenerates Figure 5: the CDF of per-path
+// mean one-way latency for paths over 50 ms, per method.
+func BenchmarkFigure5_LatencyCDF(b *testing.B) {
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		res = runCampaign(b, core.RON2003, benchDays)
+	}
+	b.Logf("Figure 5\n%s", analysis.RenderCDFOverlay(
+		"per-path latency CDF (ms), paths > 50ms", 0, 300, 13,
+		res.Agg.Methods(), res.Figure5()))
+}
+
+// BenchmarkFigure6_DesignSpace regenerates Figure 6 from the §5.3 cost
+// model: the reactive/redundant capacity frontiers and their limits.
+func BenchmarkFigure6_DesignSpace(b *testing.B) {
+	p := costmodel.Defaults()
+	var ds costmodel.DesignSpace
+	var err error
+	for i := 0; i < b.N; i++ {
+		ds, err = p.Space(101)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var rows string
+	for i := 0; i < len(ds.Reactive); i += 10 {
+		rows += fmt.Sprintf("%6.2f %10.4f %10.4f\n",
+			ds.Reactive[i].Improvement,
+			ds.Reactive[i].DataFraction, ds.Redundant[i].DataFraction)
+	}
+	b.Logf("Figure 6 (improvement, reactive frac, redundant frac; limits %.2f/%.2f)\n%s",
+		ds.ReactiveLimit, ds.RedundantLimit, rows)
+}
+
+// BenchmarkFECSpreading regenerates the §5.2 example: a (5,1) code pushed
+// through a bursty single path at increasing interleave spans; residual
+// loss falls only once the group outlives the bursts.
+func BenchmarkFECSpreading(b *testing.B) {
+	tb := topo.RON2003()
+	code, err := fec.NewCode(5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var report string
+	for i := 0; i < b.N; i++ {
+		report = ""
+		for _, spread := range []time.Duration{0, 200 * time.Millisecond, 2 * time.Second} {
+			prof := netsim.DefaultProfile()
+			prof.LossScale = 8
+			nw := netsim.New(tb, prof, 11)
+			raw, post := fecRun(nw, tb, code, spread, 1200)
+			report += fmt.Sprintf("spread %-8v raw %5.2f%%  post-FEC %5.2f%%\n",
+				spread, raw, post)
+		}
+	}
+	b.Logf("§5.2 FEC spreading\n%s", report)
+}
+
+// fecRun sends interleaved (5,1) groups over the MIT→Korea path in global
+// time order and reports raw and post-FEC loss percentages.
+func fecRun(nw *netsim.Network, tb *topo.Testbed, code *fec.Code,
+	spread time.Duration, groups int) (rawPct, postPct float64) {
+	r := netsim.Direct(tb.Index("MIT"), tb.Index("Korea"))
+	n := code.K() + code.M()
+	sched, _ := fec.EvenSpread(n, spread)
+	type job struct {
+		at    netsim.Time
+		group int
+	}
+	jobs := make([]job, 0, groups*n)
+	for g := 0; g < groups; g++ {
+		t := netsim.Time(g) * netsim.Time(250*time.Millisecond)
+		for i := 0; i < n; i++ {
+			jobs = append(jobs, job{t + netsim.FromDuration(sched.Offsets[i]), g})
+		}
+	}
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].at < jobs[j].at })
+	arrived := make([]int, groups)
+	var rawLost, postLost int
+	for _, j := range jobs {
+		if nw.Send(j.at, r).Delivered {
+			arrived[j.group]++
+		} else {
+			rawLost++
+		}
+	}
+	for g := 0; g < groups; g++ {
+		if arrived[g] < code.K() {
+			postLost += n - arrived[g]
+		}
+	}
+	packets := groups * n
+	return 100 * float64(rawLost) / float64(packets),
+		100 * float64(postLost) / float64(packets)
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md §5) ---
+
+// BenchmarkAblationLossWindow varies the paper's 100-probe selection
+// window: short windows react faster but flap; long windows smooth over
+// episodes and miss them.
+func BenchmarkAblationLossWindow(b *testing.B) {
+	for _, w := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("window=%d", w), func(b *testing.B) {
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(core.RONnarrow, benchDays)
+				cfg.LossWindow = w
+				res, err := core.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				loss = res.Agg.Totals(res.Agg.MethodIndex("loss")).TotalLossPct
+			}
+			b.Logf("loss-optimized totlp with window %d: %.3f%%", w, loss)
+		})
+	}
+}
+
+// BenchmarkAblationProbeInterval varies the §3.1 probing rate (paper:
+// 15 s): the reactive benefit decays as probes become stale.
+func BenchmarkAblationProbeInterval(b *testing.B) {
+	for _, iv := range []time.Duration{5 * time.Second, 15 * time.Second, 60 * time.Second} {
+		b.Run(iv.String(), func(b *testing.B) {
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(core.RONnarrow, benchDays)
+				cfg.ProbeInterval = iv
+				cfg.TableRefresh = iv
+				res, err := core.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				loss = res.Agg.Totals(res.Agg.MethodIndex("loss")).TotalLossPct
+			}
+			b.Logf("loss-optimized totlp at probe interval %v: %.3f%%", iv, loss)
+		})
+	}
+}
+
+// BenchmarkAblationEdgeShare varies where loss lives: shifting it from
+// shared access links to per-pair backbones raises path independence and
+// therefore mesh routing's benefit — the paper's independence-limit knob.
+func BenchmarkAblationEdgeShare(b *testing.B) {
+	for _, es := range []float64{0.5, 1, 2} {
+		b.Run(fmt.Sprintf("edgeShare=%.1f", es), func(b *testing.B) {
+			var clp float64
+			for i := 0; i < b.N; i++ {
+				prof := netsim.DefaultProfile()
+				prof.EdgeShare = es
+				cfg := core.DefaultConfig(core.RON2003, benchDays)
+				cfg.Profile = prof
+				res, err := core.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				clp = res.Agg.Totals(res.Agg.MethodIndex("direct rand")).CondLossPct
+			}
+			b.Logf("CLP(direct rand) at edge share %.1f: %.1f%%", es, clp)
+		})
+	}
+}
+
+// --- Microbenchmarks of the hot paths ---
+
+// BenchmarkComponentTransit measures the lazy-CTMC evaluation that every
+// simulated packet pays per component crossed.
+func BenchmarkComponentTransit(b *testing.B) {
+	nw := netsim.New(topo.RON2003(), nil, 1)
+	c := nw.AccessComponent(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Transit(netsim.Time(i)*netsim.Millisecond, uint64(i), 0)
+	}
+}
+
+// BenchmarkNetworkSendDirect measures a full direct-path packet (three
+// component crossings).
+func BenchmarkNetworkSendDirect(b *testing.B) {
+	nw := netsim.New(topo.RON2003(), nil, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// (i+7)%30 never equals i%30, so the route is always valid.
+		nw.Send(netsim.Time(i)*netsim.Millisecond, netsim.Direct(i%30, (i+7)%30))
+	}
+}
+
+// BenchmarkNetworkSendIndirect measures a one-intermediate packet (six
+// component crossings).
+func BenchmarkNetworkSendIndirect(b *testing.B) {
+	nw := netsim.New(topo.RON2003(), nil, 1)
+	r := netsim.Indirect(0, 1, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Send(netsim.Time(i)*netsim.Millisecond, r)
+	}
+}
+
+// BenchmarkSelectorBestLoss measures one RON path selection over 30 nodes
+// (28 candidate intermediates).
+func BenchmarkSelectorBestLoss(b *testing.B) {
+	sel := route.NewSelector(30)
+	for s := 0; s < 30; s++ {
+		for d := 0; d < 30; d++ {
+			if s != d {
+				sel.Record(s, d, s%7 == 0, time.Duration(10+s+d)*time.Millisecond)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := i % 30
+		dst := (src + 1 + i%29) % 30 // offset in [1,29]: never src
+		sel.BestLoss(src, dst)
+	}
+}
+
+// BenchmarkSelectorSnapshot measures the full 870-pair routing-table
+// recomputation the campaign performs every table-refresh interval.
+func BenchmarkSelectorSnapshot(b *testing.B) {
+	sel := route.NewSelector(30)
+	for s := 0; s < 30; s++ {
+		for d := 0; d < 30; d++ {
+			if s != d {
+				sel.Record(s, d, (s+d)%13 == 0, time.Duration(10+s+d)*time.Millisecond)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel.Snapshot()
+	}
+}
+
+// BenchmarkWireProbeRoundTrip measures probe encode+decode, the per-probe
+// serialization cost of the real overlay.
+func BenchmarkWireProbeRoundTrip(b *testing.B) {
+	p := wire.ProbeRequest{ID: 1, Tactic: wire.TacticDirect, Copies: 1, Via: wire.NoNode}
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ID = uint64(i)
+		pkt, err := wire.BuildInto(buf, wire.Header{Type: wire.TypeProbeRequest, Src: 1, Dst: 2}, &p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := wire.Open(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRSEncode measures (5,1) parity generation over 1 kB shards.
+func BenchmarkRSEncode(b *testing.B) {
+	code, err := fec.NewCode(5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([][]byte, 5)
+	for i := range data {
+		data[i] = make([]byte, 1024)
+		for j := range data[i] {
+			data[i][j] = byte(i * j)
+		}
+	}
+	b.SetBytes(5 * 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRSReconstruct measures repairing one erased shard.
+func BenchmarkRSReconstruct(b *testing.B) {
+	code, err := fec.NewCode(5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([][]byte, 5)
+	for i := range data {
+		data[i] = make([]byte, 1024)
+		for j := range data[i] {
+			data[i][j] = byte(i + j)
+		}
+	}
+	full, err := code.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(5 * 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, len(full))
+		copy(shards, full)
+		shards[i%5] = nil
+		if err := code.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAggregatorObserve measures the streaming statistics fold that
+// every simulated probe passes through.
+func BenchmarkAggregatorObserve(b *testing.B) {
+	agg := analysis.NewAggregator([]string{"direct", "direct rand"}, 30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := i % 29
+		agg.Observe(analysis.Observation{
+			Method: i % 2,
+			Src:    src,
+			Dst:    src + 1,
+			Time:   int64(i) * int64(time.Second),
+			Copies: 1 + i%2,
+			Lost:   [2]bool{i%97 == 0, i%53 == 0},
+			Lat:    [2]time.Duration{50 * time.Millisecond, 60 * time.Millisecond},
+		})
+	}
+}
+
+// BenchmarkAblationRedundancy extends 2-redundant mesh routing to R
+// copies (direct + R-1 distinct random intermediates). The paper's §5.2
+// argument predicts rapidly diminishing returns: once the residual loss
+// is dominated by shared edge infrastructure, more "independent" paths
+// cannot help — the Independence Limit of Figure 6.
+func BenchmarkAblationRedundancy(b *testing.B) {
+	tb := topo.RON2003()
+	var report string
+	for i := 0; i < b.N; i++ {
+		nw := netsim.New(tb, nil, 21)
+		rng := netsim.NewSource(55)
+		n := tb.N()
+		report = ""
+		const probes = 120000
+		lost := make([]int, 5) // lost[r] = effective losses with r copies
+		for p := 0; p < probes; p++ {
+			t := netsim.Time(p) * 700 * netsim.Microsecond
+			src := rng.Intn(n)
+			dst := rng.Intn(n - 1)
+			if dst >= src {
+				dst++
+			}
+			// Draw three distinct intermediates once so copy sets nest:
+			// R=2 uses the first, R=3 the first two, etc.
+			var vias [3]int
+			for k := 0; k < 3; {
+				v := rng.Intn(n)
+				if v == src || v == dst || (k > 0 && v == vias[0]) ||
+					(k > 1 && v == vias[1]) {
+					continue
+				}
+				vias[k] = v
+				k++
+			}
+			delivered := 0
+			if nw.Send(t, netsim.Direct(src, dst)).Delivered {
+				delivered = 1
+			}
+			anyOK := delivered > 0
+			for r := 1; r <= 4; r++ {
+				if r >= 2 {
+					if nw.Send(t, netsim.Indirect(src, dst, vias[r-2])).Delivered {
+						anyOK = true
+					}
+				}
+				if !anyOK {
+					lost[r]++
+				}
+			}
+		}
+		for r := 1; r <= 4; r++ {
+			report += fmt.Sprintf("R=%d totlp %.4f%%\n",
+				r, 100*float64(lost[r])/float64(probes))
+		}
+	}
+	b.Logf("N-redundant mesh routing (direct + R-1 random copies)\n%s", report)
+}
+
+// BenchmarkAblationHysteresis compares the paper's simple always-switch
+// selector against RON-style damped selection: hysteresis trades a little
+// loss-avoidance agility for far fewer route changes (routing stability).
+func BenchmarkAblationHysteresis(b *testing.B) {
+	for _, h := range []float64{0, 0.25, 0.5} {
+		b.Run(fmt.Sprintf("margin=%.2f", h), func(b *testing.B) {
+			var changes int64
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(core.RONnarrow, benchDays)
+				cfg.Hysteresis = h
+				res, err := core.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				changes = res.RouteChanges
+				loss = res.Agg.Totals(res.Agg.MethodIndex("loss")).TotalLossPct
+			}
+			b.Logf("margin %.2f: %d route changes, loss-optimized totlp %.3f%%",
+				h, changes, loss)
+		})
+	}
+}

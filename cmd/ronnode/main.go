@@ -1,0 +1,204 @@
+// Command ronnode runs one distributed overlay node over real UDP: it
+// probes its peers RON-style, gossips link state, answers probes, relays
+// one-hop overlay traffic, and periodically prints its routing table.
+//
+// A mesh is described by a roster file with one "id host:port" line per
+// node:
+//
+//	0 10.0.0.1:4710
+//	1 10.0.0.2:4710
+//	2 10.0.0.3:4710
+//
+// Start each node with its own id:
+//
+//	ronnode -id 0 -roster mesh.txt -listen :4710
+//
+// Optional: -sendto periodically transmits a test stream to a peer under
+// a chosen policy so forwarding and duplicate suppression can be observed
+// end to end.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/overlay"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		id       = flag.Int("id", -1, "this node's id (must appear in the roster)")
+		roster   = flag.String("roster", "", "roster file: one 'id host:port' per line")
+		listen   = flag.String("listen", "", "UDP listen address (default: roster entry)")
+		interval = flag.Duration("probe-interval", 15*time.Second, "per-peer probe interval (§3.1)")
+		sendTo   = flag.Int("sendto", -1, "peer id to stream test packets to")
+		policy   = flag.String("policy", "direct rand", "routing policy for -sendto: direct, rand, lat, loss, 'direct rand', 'lat loss'")
+		rate     = flag.Duration("send-every", time.Second, "test stream packet interval")
+	)
+	flag.Parse()
+
+	if *roster == "" || *id < 0 {
+		fatal(fmt.Errorf("both -id and -roster are required"))
+	}
+	nodes, err := loadRoster(*roster)
+	if err != nil {
+		fatal(err)
+	}
+	self := wire.NodeID(*id)
+	selfAddr, ok := nodes[self]
+	if !ok {
+		fatal(fmt.Errorf("id %d not in roster", *id))
+	}
+	if *listen == "" {
+		*listen = selfAddr
+	}
+
+	tr, err := transport.NewUDP(self, *listen, nodes)
+	if err != nil {
+		fatal(err)
+	}
+	defer tr.Close()
+
+	node, err := overlay.New(overlay.Config{
+		ID:            self,
+		MeshSize:      len(nodes),
+		Transport:     tr,
+		ProbeInterval: *interval,
+		Seed:          time.Now().UnixNano(),
+		OnReceive: func(r overlay.Receive) {
+			tag := ""
+			if r.Duplicate {
+				tag = " (duplicate suppressed copy)"
+			}
+			fmt.Printf("recv %s stream=%d seq=%d copy=%d fwd=%v oneway=%v%s\n",
+				r.Origin, r.StreamID, r.Seq, r.CopyIndex, r.Forwarded,
+				r.OneWay.Round(100*time.Microsecond), tag)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	node.Start()
+	defer node.Close()
+	fmt.Printf("ronnode %v up on %s, mesh of %d\n", self, *listen, len(nodes))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	ticker := time.NewTicker(10 * *interval)
+	defer ticker.Stop()
+	var sendTicker *time.Ticker
+	var sendC <-chan time.Time
+	if *sendTo >= 0 {
+		sendTicker = time.NewTicker(*rate)
+		defer sendTicker.Stop()
+		sendC = sendTicker.C
+	}
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+
+	var seq int
+	for {
+		select {
+		case <-stop:
+			fmt.Println("shutting down; final stats:", statsLine(node))
+			return
+		case <-ticker.C:
+			printTable(node)
+		case <-sendC:
+			seq++
+			payload := []byte(fmt.Sprintf("test packet %d", seq))
+			if err := node.Send(wire.NodeID(*sendTo), 1, payload, pol); err != nil {
+				fmt.Fprintln(os.Stderr, "send:", err)
+			}
+		}
+	}
+}
+
+// loadRoster parses the roster file.
+func loadRoster(path string) (map[wire.NodeID]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[wire.NodeID]string)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("roster line %d: want 'id host:port'", line)
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil || id < 0 || id >= int(wire.NoNode) {
+			return nil, fmt.Errorf("roster line %d: bad id %q", line, fields[0])
+		}
+		out[wire.NodeID(id)] = fields[1]
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) < 2 {
+		return nil, fmt.Errorf("roster needs at least 2 nodes")
+	}
+	return out, nil
+}
+
+func parsePolicy(s string) (overlay.Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "direct":
+		return overlay.PolicyDirect, nil
+	case "rand":
+		return overlay.PolicyRand, nil
+	case "lat":
+		return overlay.PolicyLat, nil
+	case "loss":
+		return overlay.PolicyLoss, nil
+	case "direct rand", "mesh":
+		return overlay.PolicyMesh, nil
+	case "lat loss":
+		return overlay.PolicyLatLoss, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+func printTable(n *overlay.Node) {
+	fmt.Printf("routing table of %v at %s:\n", n.ID(), time.Now().Format(time.TimeOnly))
+	for _, e := range n.RoutingTable() {
+		fmt.Printf("  to %-4v loss-opt %-8v (est %.2f%%)  lat-opt %-8v (est %v)\n",
+			e.Dst, e.Loss, e.Loss.Loss*100, e.Latency,
+			e.Latency.Latency.Round(100*time.Microsecond))
+	}
+	fmt.Println("  " + statsLine(n))
+}
+
+func statsLine(n *overlay.Node) string {
+	s := n.Stats()
+	return fmt.Sprintf("probes=%d replies=%d lost=%d gossips=%d/%d data=%d/%d fwd=%d dups=%d",
+		s.ProbesSent, s.ProbeReplies, s.ProbesLost, s.GossipsSent,
+		s.GossipsReceived, s.DataSent, s.DataReceived, s.DataForwarded,
+		s.DupsSuppressed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ronnode:", err)
+	os.Exit(1)
+}

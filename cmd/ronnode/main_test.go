@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/overlay"
+)
+
+func writeRoster(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "mesh.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadRoster(t *testing.T) {
+	path := writeRoster(t, `
+# comment line
+0 10.0.0.1:4710
+1 10.0.0.2:4710
+
+2 host.example:4710
+`)
+	nodes, err := loadRoster(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("parsed %d nodes, want 3", len(nodes))
+	}
+	if nodes[1] != "10.0.0.2:4710" || nodes[2] != "host.example:4710" {
+		t.Errorf("roster = %v", nodes)
+	}
+}
+
+func TestLoadRosterErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		content string
+	}{
+		{"too few nodes", "0 a:1\n"},
+		{"bad id", "x a:1\n1 b:2\n"},
+		{"negative id", "-1 a:1\n1 b:2\n"},
+		{"missing field", "0\n1 b:2\n"},
+		{"extra field", "0 a:1 junk\n1 b:2\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := loadRoster(writeRoster(t, c.content)); err == nil {
+				t.Error("bad roster accepted")
+			}
+		})
+	}
+	if _, err := loadRoster("/nonexistent/roster"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]overlay.Policy{
+		"direct":      overlay.PolicyDirect,
+		"rand":        overlay.PolicyRand,
+		"lat":         overlay.PolicyLat,
+		"loss":        overlay.PolicyLoss,
+		"direct rand": overlay.PolicyMesh,
+		"mesh":        overlay.PolicyMesh,
+		"lat loss":    overlay.PolicyLatLoss,
+		" Direct ":    overlay.PolicyDirect,
+	}
+	for in, want := range cases {
+		got, err := parsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("parsePolicy(%q) = (%v, %v), want %v", in, got, err, want)
+		}
+	}
+	if _, err := parsePolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}

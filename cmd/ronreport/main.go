@@ -1,0 +1,89 @@
+// Command ronreport post-processes probe trace logs the way the paper's
+// central monitoring machine did (§4.1): it merges per-node binary trace
+// files, matches receives to sends within one hour, filters probes aimed
+// at failed hosts (90 s send silence), and prints the Table 5 loss
+// statistics for the methods found in the logs.
+//
+// Usage:
+//
+//	ronreport -hosts 30 -methods "loss,direct rand,lat loss" node0.trc node1.trc ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		hosts   = flag.Int("hosts", 30, "number of hosts in the mesh")
+		methods = flag.String("methods", "direct", "comma-separated method names, indexed by the Method field in the logs")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "ronreport: no trace files given")
+		os.Exit(2)
+	}
+	names := splitMethods(*methods)
+
+	logs := make([][]trace.Record, 0, flag.NArg())
+	var total int
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		recs, err := trace.ReadAll(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		logs = append(logs, recs)
+		total += len(recs)
+	}
+	merged := trace.Merge(logs...)
+	fmt.Printf("merged %d records from %d logs\n", total, len(logs))
+
+	obs := trace.Match(merged, *hosts, trace.DefaultMatchOptions())
+	fmt.Printf("matched %d probe observations\n\n", len(obs))
+
+	agg := analysis.NewAggregator(names, *hosts)
+	skipped := 0
+	for _, o := range obs {
+		if o.Method >= len(names) {
+			skipped++
+			continue
+		}
+		agg.Observe(o)
+	}
+	agg.Flush()
+	if skipped > 0 {
+		fmt.Printf("(skipped %d observations with method ids beyond -methods)\n", skipped)
+	}
+	fmt.Println(analysis.RenderTable5(agg.Table5(), ""))
+	fmt.Println(analysis.RenderTable6(agg.HighLossHours()))
+}
+
+func splitMethods(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{"direct"}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ronreport:", err)
+	os.Exit(1)
+}

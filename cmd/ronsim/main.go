@@ -1,0 +1,205 @@
+// Command ronsim reproduces the paper's evaluation: it runs a simulated
+// measurement campaign for any of the three datasets (Table 3) and emits
+// every table and figure — Table 5/6/7 as text, Figures 2-5 as CDF series,
+// and the Figure 6 design space from the §5.3 cost model.
+//
+// Usage:
+//
+//	ronsim -dataset ron2003 -days 2 -seed 1 -out results/
+//	ronsim -all -days 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "ron2003", "dataset to reproduce: ron2003, ronwide, ronnarrow")
+		days    = flag.Float64("days", 2, "virtual campaign length in days")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		outDir  = flag.String("out", "", "directory for figure data files (omit to skip)")
+		all     = flag.Bool("all", false, "run all three datasets plus the Figure 6 model")
+		traceTo = flag.String("trace", "", "write §4.1 probe trace records to this file (analyze with ronreport)")
+	)
+	flag.Parse()
+
+	if *all {
+		for _, d := range []core.Dataset{core.RON2003, core.RONwide, core.RONnarrow} {
+			if err := runDataset(d, *days, *seed, *outDir, ""); err != nil {
+				fatal(err)
+			}
+		}
+		printFigure6(*outDir)
+		return
+	}
+	d, err := parseDataset(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	if err := runDataset(d, *days, *seed, *outDir, *traceTo); err != nil {
+		fatal(err)
+	}
+	if d == core.RON2003 {
+		printFigure6(*outDir)
+	}
+}
+
+func parseDataset(s string) (core.Dataset, error) {
+	switch strings.ToLower(s) {
+	case "ron2003":
+		return core.RON2003, nil
+	case "ronwide":
+		return core.RONwide, nil
+	case "ronnarrow":
+		return core.RONnarrow, nil
+	default:
+		return 0, fmt.Errorf("unknown dataset %q (want ron2003, ronwide, ronnarrow)", s)
+	}
+}
+
+func runDataset(d core.Dataset, days float64, seed uint64, outDir, traceTo string) error {
+	cfg := core.DefaultConfig(d, days)
+	cfg.Seed = seed
+
+	var traceW *trace.Writer
+	if traceTo != "" {
+		f, err := os.Create(traceTo)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceW, err = trace.NewWriter(f)
+		if err != nil {
+			return err
+		}
+		cfg.TraceSink = func(r trace.Record) { _ = traceW.Append(r) }
+	}
+
+	start := time.Now()
+	fmt.Printf("=== %s: simulating %.2f virtual days (seed %d) ===\n", d, cfg.Days, seed)
+	res, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("(wall time %.1fs)\n\n%s\n", time.Since(start).Seconds(), res.Report())
+
+	// Figures as inline CDF overlays.
+	names := res.Agg.Methods()
+	fmt.Println(analysis.RenderCDFOverlay(
+		"Figure 2: per-path long-term loss rate CDF (percent, direct path)",
+		0, 7, 15, []string{"direct"}, []*analysis.CDF{res.Figure2(50)}))
+	fmt.Println(analysis.RenderCDFOverlay(
+		"Figure 3: 20-minute loss-rate CDF per method (fraction)",
+		0, 1, 11, names, res.Figure3()))
+	f4names, f4cdfs := res.Figure4()
+	if len(f4cdfs) > 0 {
+		fmt.Println(analysis.RenderCDFOverlay(
+			"Figure 4: per-path conditional loss probability CDF (percent)",
+			0, 100, 11, f4names, f4cdfs))
+	}
+	fmt.Println(analysis.RenderCDFOverlay(
+		"Figure 5: per-path mean latency CDF, paths over 50 ms (ms)",
+		0, 300, 13, names, res.Figure5()))
+
+	if outDir != "" {
+		if err := writeFigures(outDir, d, res); err != nil {
+			return err
+		}
+	}
+	if traceW != nil {
+		if err := traceW.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace records to %s\n", traceW.Count(), traceTo)
+	}
+	return nil
+}
+
+// writeFigures emits gnuplot-style data files, one per figure.
+func writeFigures(dir string, d core.Dataset, res *core.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name, content string) error {
+		path := filepath.Join(dir, fmt.Sprintf("%s-%s", strings.ToLower(d.String()), name))
+		return os.WriteFile(path, []byte(content), 0o644)
+	}
+	names := res.Agg.Methods()
+	if err := write("fig2.dat", analysis.RenderCDF("per-path loss % CDF",
+		res.Figure2(50).Grid(0, 7, 100))); err != nil {
+		return err
+	}
+	if err := write("fig3.dat", analysis.RenderCDFOverlay("20-min loss CDF",
+		0, 1, 101, names, res.Figure3())); err != nil {
+		return err
+	}
+	f4names, f4cdfs := res.Figure4()
+	if len(f4cdfs) > 0 {
+		if err := write("fig4.dat", analysis.RenderCDFOverlay("per-path CLP CDF",
+			0, 100, 101, f4names, f4cdfs)); err != nil {
+			return err
+		}
+	}
+	if err := write("fig5.dat", analysis.RenderCDFOverlay("latency CDF (>50ms paths)",
+		0, 300, 121, names, res.Figure5())); err != nil {
+		return err
+	}
+	if err := write("table5.txt",
+		analysis.RenderTable5(res.Table5Rows(), res.LatencyLabel())); err != nil {
+		return err
+	}
+	return write("table6.txt", analysis.RenderTable6(res.Agg.HighLossHours()))
+}
+
+// printFigure6 renders the §5.3 design space.
+func printFigure6(outDir string) {
+	p := costmodel.Defaults()
+	ds, err := p.Space(21)
+	if err != nil {
+		fatal(err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Figure 6: reactive vs redundant design space\n")
+	fmt.Fprintf(&b, "# best-expected-path limit %.2f, independence limit %.2f\n",
+		ds.ReactiveLimit, ds.RedundantLimit)
+	fmt.Fprintf(&b, "%12s %12s %12s\n", "improvement", "reactive", "redundant")
+	for i := range ds.Reactive {
+		r, d := ds.Reactive[i].DataFraction, ds.Redundant[i].DataFraction
+		fmt.Fprintf(&b, "%12.2f %12s %12s\n",
+			ds.Reactive[i].Improvement, frac(r), frac(d))
+	}
+	for _, target := range []float64{0.1, 0.2, 0.3, 0.45} {
+		s, err := p.Recommend(target)
+		if err == nil {
+			fmt.Fprintf(&b, "recommendation at %.0f%% improvement (16 kb/s flow): %s\n",
+				target*100, s)
+		}
+	}
+	fmt.Println(b.String())
+	if outDir != "" {
+		_ = os.WriteFile(filepath.Join(outDir, "fig6.dat"), []byte(b.String()), 0o644)
+	}
+}
+
+func frac(v float64) string {
+	if v < 0 {
+		return "infeasible"
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ronsim:", err)
+	os.Exit(1)
+}

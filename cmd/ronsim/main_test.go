@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestParseDataset(t *testing.T) {
+	cases := map[string]bool{
+		"ron2003": true, "RON2003": true, "ronwide": true,
+		"RONnarrow": true, "bogus": false, "": false,
+	}
+	for in, ok := range cases {
+		_, err := parseDataset(in)
+		if ok && err != nil {
+			t.Errorf("parseDataset(%q) failed: %v", in, err)
+		}
+		if !ok && err == nil {
+			t.Errorf("parseDataset(%q) accepted", in)
+		}
+	}
+}
+
+func TestFracFormatting(t *testing.T) {
+	if frac(-1) != "infeasible" {
+		t.Error("negative fraction should render infeasible")
+	}
+	if frac(0.5) != "0.5000" {
+		t.Errorf("frac(0.5) = %q", frac(0.5))
+	}
+}

@@ -1,0 +1,131 @@
+// Meshstream: the paper's headline comparison, live. A 17-node overlay
+// runs over the simulated RON testbed substrate (accelerated so bursts
+// and episodes happen within seconds) and streams packets from MIT to
+// Korea — the paper's lossiest kind of path — under three policies:
+// direct, 2-redundant mesh (direct rand), and back-to-back duplication on
+// the same path (direct direct). The delivered fractions show mesh
+// routing masking losses that same-path duplication cannot, because
+// back-to-back copies die in the same burst (§4.4).
+//
+//	go run ./examples/meshstream
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/overlay"
+	"repro/internal/topo"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	tb := topo.RON2002()
+	prof := netsim.DefaultProfile()
+	prof.LossScale = 100 // compress days of loss into seconds
+	nw := netsim.New(tb, prof, 7)
+	// accel maps wall time to virtual time. It is kept moderate so that
+	// two back-to-back Send calls (tens of µs of wall time) stay within
+	// one virtual loss burst — otherwise the acceleration would quietly
+	// de-correlate the "direct direct" pair.
+	const accel = 150
+	imp := transport.NewSimImpairment(nw, accel)
+	mesh := transport.NewMesh(imp.Func())
+	defer mesh.Close()
+
+	src := wire.NodeID(tb.Index("MIT"))
+	dst := wire.NodeID(tb.Index("Korea"))
+	fmt.Printf("streaming %s → %s over the simulated testbed (accelerated)\n",
+		tb.Host(int(src)).Name, tb.Host(int(dst)).Name)
+
+	type tally struct {
+		got    map[string]bool // distinct application packets delivered
+		latSum time.Duration
+		latN   int
+	}
+	var mu sync.Mutex
+	byStream := map[uint32]*tally{
+		1: {got: map[string]bool{}},
+		2: {got: map[string]bool{}},
+		3: {got: map[string]bool{}},
+	}
+	streamName := map[uint32]string{1: "direct", 2: "direct rand", 3: "direct direct"}
+
+	nodes := make([]*overlay.Node, tb.N())
+	for i := 0; i < tb.N(); i++ {
+		id := wire.NodeID(i)
+		n, err := overlay.New(overlay.Config{
+			ID:             id,
+			MeshSize:       tb.N(),
+			Transport:      mesh.Endpoint(id),
+			ProbeInterval:  300 * time.Millisecond,
+			ProbeTimeout:   150 * time.Millisecond,
+			GossipInterval: 200 * time.Millisecond,
+			Seed:           int64(i),
+			OnReceive: func(r overlay.Receive) {
+				if id != dst {
+					return
+				}
+				mu.Lock()
+				t := byStream[r.StreamID]
+				if t != nil {
+					key := string(r.Payload)
+					if !t.got[key] {
+						t.got[key] = true
+						t.latSum += r.OneWay
+						t.latN++
+					}
+				}
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		nodes[i] = n
+		defer n.Close()
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	time.Sleep(time.Second) // warm up estimates
+
+	const packets = 400
+	fmt.Printf("sending %d packets per policy...\n", packets)
+	for i := 0; i < packets; i++ {
+		payload := []byte(fmt.Sprintf("pkt-%d", i))
+		_ = nodes[src].Send(dst, 1, payload, overlay.PolicyDirect)
+		_ = nodes[src].Send(dst, 2, payload, overlay.PolicyMesh)
+		// "direct direct": the same application packet transmitted
+		// twice back-to-back on the direct path; the receiver counts
+		// distinct payloads, so either copy arriving suffices.
+		_ = nodes[src].Send(dst, 3, payload, overlay.PolicyDirect)
+		_ = nodes[src].Send(dst, 3, payload, overlay.PolicyDirect)
+		time.Sleep(12 * time.Millisecond)
+	}
+	time.Sleep(800 * time.Millisecond) // drain
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("\n%-15s %10s %10s %12s\n", "policy", "delivered", "loss %", "mean one-way")
+	for _, sid := range []uint32{1, 3, 2} {
+		t := byStream[sid]
+		sent := packets
+		del := len(t.got)
+		lossPct := 100 * float64(sent-del) / float64(sent)
+		var meanLat time.Duration
+		if t.latN > 0 {
+			// Wall delays are compressed by accel; report virtual.
+			meanLat = t.latSum / time.Duration(t.latN) * accel
+		}
+		fmt.Printf("%-15s %7d/%d %9.1f%% %12v\n",
+			streamName[sid], del, sent, lossPct, meanLat.Round(time.Millisecond))
+	}
+	fmt.Println("\nexpected shape (paper Table 5 / §4.4): plain direct loses most;")
+	fmt.Println("back-to-back duplication recovers little, because the second copy")
+	fmt.Println("usually dies in the same burst (CLP ≈ 70%); the mesh pair recovers")
+	fmt.Println("most losses, since only the shared edge can kill both copies.")
+}

@@ -1,0 +1,466 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+)
+
+// Window lengths used by the paper.
+const (
+	// WindowShort is the 20-minute window of Figure 3.
+	WindowShort = 20 * time.Minute
+	// WindowHour is the 1-hour window of Table 6.
+	WindowHour = time.Hour
+)
+
+// pathStats accumulates per-(method, path) statistics.
+type pathStats struct {
+	probes     int64 // observations
+	firstSent  int64
+	firstLost  int64
+	secondSent int64
+	secondLost int64
+	bothLost   int64 // among two-copy probes
+	effLost    int64 // effective loss (all copies lost)
+	latSumNS   float64
+	latN       int64
+	// Per-copy latency sums let Table 5 infer single-tactic rows
+	// ("direct*", "lat*") from the first packets of two-packet pairs.
+	lat1SumNS float64
+	lat1N     int64
+	lat2SumNS float64
+	lat2N     int64
+}
+
+// windowState tracks the in-progress window for one (method, path).
+type windowState struct {
+	index int64 // window ordinal; -1 when unused
+	sent  int64
+	lost  int64
+}
+
+// Aggregator consumes Observations and produces the paper's tables and
+// figures. Create with NewAggregator; feed with Observe; query with the
+// Table*/Figure* methods after the campaign (queries are also safe
+// mid-campaign — they snapshot current state; in-progress windows are not
+// flushed until the next observation crosses their boundary or Flush is
+// called).
+type Aggregator struct {
+	methods []string
+	nHosts  int
+	nPaths  int
+
+	perPath [][]pathStats // [method][src*nHosts+dst]
+
+	// 20-minute window machinery (Figure 3): flushed samples pool
+	// across paths, per method.
+	win20      [][]windowState
+	win20Rates []*CDF
+
+	// 1-hour window machinery (Table 6): counts of path-hours whose
+	// effective loss rate exceeded each threshold.
+	win60       [][]windowState
+	hourCounts  [][]int64 // [method][threshold index]
+	hourPeriods []int64   // total flushed path-hours per method
+	// hourMax tracks the single worst hour across methods ("During the
+	// worst one-hour period monitored, the average loss rate was over
+	// 13%"): computed over the direct method if present, else method 0.
+	hourMaxRate float64
+
+	// Diurnal tallies: effective loss by hour of the virtual day, per
+	// method (§4.2: "During many hours of the day, the Internet is
+	// mostly quiescent and loss rates are low").
+	hodSent [][24]int64
+	hodLost [][24]int64
+}
+
+// Table6Thresholds are the loss-percentage thresholds of Table 6.
+var Table6Thresholds = []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90}
+
+// NewAggregator creates an aggregator for a campaign with the given
+// method names over an nHosts mesh.
+func NewAggregator(methods []string, nHosts int) *Aggregator {
+	if len(methods) == 0 || nHosts < 2 {
+		panic("analysis: aggregator needs methods and at least 2 hosts")
+	}
+	nm := len(methods)
+	a := &Aggregator{
+		methods:     append([]string(nil), methods...),
+		nHosts:      nHosts,
+		nPaths:      nHosts * nHosts,
+		perPath:     make([][]pathStats, nm),
+		win20:       make([][]windowState, nm),
+		win60:       make([][]windowState, nm),
+		win20Rates:  make([]*CDF, nm),
+		hourCounts:  make([][]int64, nm),
+		hourPeriods: make([]int64, nm),
+		hodSent:     make([][24]int64, nm),
+		hodLost:     make([][24]int64, nm),
+	}
+	for m := 0; m < nm; m++ {
+		a.perPath[m] = make([]pathStats, a.nPaths)
+		a.win20[m] = make([]windowState, a.nPaths)
+		a.win60[m] = make([]windowState, a.nPaths)
+		for p := range a.win20[m] {
+			a.win20[m][p].index = -1
+			a.win60[m][p].index = -1
+		}
+		a.win20Rates[m] = &CDF{}
+		a.hourCounts[m] = make([]int64, len(Table6Thresholds))
+	}
+	return a
+}
+
+// Methods returns the method names.
+func (a *Aggregator) Methods() []string { return a.methods }
+
+// MethodIndex returns the index of the named method, or -1.
+func (a *Aggregator) MethodIndex(name string) int {
+	for i, m := range a.methods {
+		if m == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (a *Aggregator) pathIndex(src, dst int) int { return src*a.nHosts + dst }
+
+// Observe folds one probe outcome into every statistic. Observations for
+// a given (method, path) must arrive in nondecreasing time order (window
+// bookkeeping); different paths may interleave arbitrarily.
+func (a *Aggregator) Observe(o Observation) {
+	if err := o.Validate(len(a.methods), a.nHosts); err != nil {
+		panic(err)
+	}
+	pi := a.pathIndex(o.Src, o.Dst)
+	ps := &a.perPath[o.Method][pi]
+
+	ps.probes++
+	ps.firstSent++
+	if o.Lost[0] {
+		ps.firstLost++
+	}
+	if o.Copies == 2 {
+		ps.secondSent++
+		if o.Lost[1] {
+			ps.secondLost++
+		}
+		if o.Lost[0] && o.Lost[1] {
+			ps.bothLost++
+		}
+	}
+	eff := o.EffectiveLost()
+	if eff {
+		ps.effLost++
+	}
+	if lat, ok := o.EffectiveLatency(); ok {
+		ps.latSumNS += float64(lat)
+		ps.latN++
+	}
+	if !o.Lost[0] {
+		ps.lat1SumNS += float64(o.Lat[0])
+		ps.lat1N++
+	}
+	if o.Copies == 2 && !o.Lost[1] {
+		ps.lat2SumNS += float64(o.Lat[1])
+		ps.lat2N++
+	}
+
+	a.observeWindow(a.win20[o.Method], pi, o.Time, int64(WindowShort), eff,
+		func(rate float64) { a.win20Rates[o.Method].Add(rate) })
+	a.observeWindow(a.win60[o.Method], pi, o.Time, int64(WindowHour), eff,
+		func(rate float64) { a.flushHour(o.Method, rate) })
+
+	hod := int(o.Time/int64(time.Hour)) % 24
+	if hod < 0 {
+		hod += 24
+	}
+	a.hodSent[o.Method][hod]++
+	if eff {
+		a.hodLost[o.Method][hod]++
+	}
+}
+
+// DiurnalProfile returns the effective loss rate (fraction) per hour of
+// the virtual day for one method. Hours with no samples report 0.
+func (a *Aggregator) DiurnalProfile(method int) [24]float64 {
+	var out [24]float64
+	for h := 0; h < 24; h++ {
+		if s := a.hodSent[method][h]; s > 0 {
+			out[h] = float64(a.hodLost[method][h]) / float64(s)
+		}
+	}
+	return out
+}
+
+// observeWindow advances the (method, path) window containing time t,
+// flushing the previous window's rate if t crossed a boundary.
+func (a *Aggregator) observeWindow(ws []windowState, pi int, t int64,
+	width int64, lost bool, flush func(rate float64)) {
+	w := &ws[pi]
+	idx := t / width
+	if w.index != idx {
+		if w.index >= 0 && w.sent > 0 {
+			flush(float64(w.lost) / float64(w.sent))
+		}
+		w.index = idx
+		w.sent, w.lost = 0, 0
+	}
+	w.sent++
+	if lost {
+		w.lost++
+	}
+}
+
+func (a *Aggregator) flushHour(method int, rate float64) {
+	a.hourPeriods[method]++
+	pct := rate * 100
+	for i, thr := range Table6Thresholds {
+		if pct > thr {
+			a.hourCounts[method][i]++
+		}
+	}
+	if rate > a.hourMaxRate {
+		a.hourMaxRate = rate
+	}
+}
+
+// Flush finalizes all in-progress windows. Call once after the campaign
+// ends so partial windows contribute their samples.
+func (a *Aggregator) Flush() {
+	for m := range a.methods {
+		for pi := 0; pi < a.nPaths; pi++ {
+			if w := &a.win20[m][pi]; w.index >= 0 && w.sent > 0 {
+				a.win20Rates[m].Add(float64(w.lost) / float64(w.sent))
+				w.index, w.sent, w.lost = -1, 0, 0
+			}
+			if w := &a.win60[m][pi]; w.index >= 0 && w.sent > 0 {
+				a.flushHour(m, float64(w.lost)/float64(w.sent))
+				w.index, w.sent, w.lost = -1, 0, 0
+			}
+		}
+	}
+}
+
+// MethodTotals is one row of Table 5 / Table 7.
+type MethodTotals struct {
+	Method string
+	// Probes is the number of observations.
+	Probes int64
+	// FirstLossPct (1lp) and SecondLossPct (2lp) are per-copy loss
+	// percentages; SecondLossPct is meaningful only for pair methods.
+	FirstLossPct  float64
+	SecondLossPct float64
+	// TotalLossPct (totlp) is the effective loss percentage.
+	TotalLossPct float64
+	// CondLossPct (clp) is the conditional loss percentage of the
+	// second copy given the first was lost; NaN-free: 0 when undefined.
+	CondLossPct float64
+	// MeanLatency is the mean effective latency of delivered probes.
+	MeanLatency time.Duration
+	// Pair reports whether the method sends two copies.
+	Pair bool
+}
+
+// Totals computes the aggregate row for one method across all paths.
+func (a *Aggregator) Totals(method int) MethodTotals {
+	var sum pathStats
+	for pi := 0; pi < a.nPaths; pi++ {
+		ps := &a.perPath[method][pi]
+		sum.probes += ps.probes
+		sum.firstSent += ps.firstSent
+		sum.firstLost += ps.firstLost
+		sum.secondSent += ps.secondSent
+		sum.secondLost += ps.secondLost
+		sum.bothLost += ps.bothLost
+		sum.effLost += ps.effLost
+		sum.latSumNS += ps.latSumNS
+		sum.latN += ps.latN
+		sum.lat1SumNS += ps.lat1SumNS
+		sum.lat1N += ps.lat1N
+		sum.lat2SumNS += ps.lat2SumNS
+		sum.lat2N += ps.lat2N
+	}
+	pct := func(num, den int64) float64 {
+		if den == 0 {
+			return 0
+		}
+		return 100 * float64(num) / float64(den)
+	}
+	mt := MethodTotals{
+		Method:        a.methods[method],
+		Probes:        sum.probes,
+		FirstLossPct:  pct(sum.firstLost, sum.firstSent),
+		SecondLossPct: pct(sum.secondLost, sum.secondSent),
+		TotalLossPct:  pct(sum.effLost, sum.probes),
+		CondLossPct:   pct(sum.bothLost, sum.firstLost),
+		Pair:          sum.secondSent > 0,
+	}
+	if sum.latN > 0 {
+		mt.MeanLatency = time.Duration(sum.latSumNS / float64(sum.latN))
+	}
+	return mt
+}
+
+// InferredSingle derives a single-tactic row from one copy of a pair
+// method, the way the paper infers "direct*" and "lat*" from the first
+// packets of "direct rand" and "lat loss" (Table 5's asterisks). copy is
+// 0 or 1.
+func (a *Aggregator) InferredSingle(method, copy int, name string) MethodTotals {
+	var sent, lost, latN int64
+	var latSum float64
+	for pi := 0; pi < a.nPaths; pi++ {
+		ps := &a.perPath[method][pi]
+		if copy == 0 {
+			sent += ps.firstSent
+			lost += ps.firstLost
+			latSum += ps.lat1SumNS
+			latN += ps.lat1N
+		} else {
+			sent += ps.secondSent
+			lost += ps.secondLost
+			latSum += ps.lat2SumNS
+			latN += ps.lat2N
+		}
+	}
+	mt := MethodTotals{Method: name, Probes: sent}
+	if sent > 0 {
+		mt.FirstLossPct = 100 * float64(lost) / float64(sent)
+		mt.TotalLossPct = mt.FirstLossPct
+	}
+	if latN > 0 {
+		mt.MeanLatency = time.Duration(latSum / float64(latN))
+	}
+	return mt
+}
+
+// Table5 returns the totals for every method, in method order.
+func (a *Aggregator) Table5() []MethodTotals {
+	out := make([]MethodTotals, len(a.methods))
+	for m := range a.methods {
+		out[m] = a.Totals(m)
+	}
+	return out
+}
+
+// Table6 is the high-loss-hours table: Counts[m][k] is the number of
+// path-hours in which method m's effective loss rate exceeded
+// Table6Thresholds[k] percent.
+type Table6 struct {
+	Methods    []string
+	Thresholds []float64
+	Counts     [][]int64
+	// Periods is the total number of flushed path-hours per method
+	// ("an equal number of total sampling periods for each method").
+	Periods []int64
+	// WorstHourPct is the highest hourly loss rate observed.
+	WorstHourPct float64
+}
+
+// HighLossHours computes Table 6. Call Flush first to include the final
+// partial hour.
+func (a *Aggregator) HighLossHours() Table6 {
+	t6 := Table6{
+		Methods:      a.methods,
+		Thresholds:   Table6Thresholds,
+		Counts:       make([][]int64, len(a.methods)),
+		Periods:      append([]int64(nil), a.hourPeriods...),
+		WorstHourPct: a.hourMaxRate * 100,
+	}
+	for m := range a.methods {
+		t6.Counts[m] = append([]int64(nil), a.hourCounts[m]...)
+	}
+	return t6
+}
+
+// PathLossCDF returns Figure 2's distribution: per-path long-term
+// effective loss rate (in percent) for the given method, across paths
+// with at least minProbes observations.
+func (a *Aggregator) PathLossCDF(method, minProbes int) *CDF {
+	c := &CDF{}
+	for pi := 0; pi < a.nPaths; pi++ {
+		ps := &a.perPath[method][pi]
+		if ps.probes < int64(minProbes) || ps.probes == 0 {
+			continue
+		}
+		c.Add(100 * float64(ps.effLost) / float64(ps.probes))
+	}
+	return c
+}
+
+// WindowRateCDF returns Figure 3's distribution: pooled 20-minute
+// effective loss rates (fraction in [0,1]) for the given method.
+func (a *Aggregator) WindowRateCDF(method int) *CDF {
+	return a.win20Rates[method]
+}
+
+// CLPByPathCDF returns Figure 4's distribution: per-path conditional loss
+// probability (percent) of the second copy, across paths with at least
+// one first-copy loss, for a two-copy method.
+func (a *Aggregator) CLPByPathCDF(method int) *CDF {
+	c := &CDF{}
+	for pi := 0; pi < a.nPaths; pi++ {
+		ps := &a.perPath[method][pi]
+		if ps.firstLost == 0 || ps.secondSent == 0 {
+			continue
+		}
+		c.Add(100 * float64(ps.bothLost) / float64(ps.firstLost))
+	}
+	return c
+}
+
+// PathLatencyCDF returns Figure 5's distribution: per-path mean effective
+// latency (milliseconds) for the given method, restricted to paths whose
+// mean latency under the reference method exceeds minRef. Pass method as
+// reference (and 0 floor) to include all paths.
+func (a *Aggregator) PathLatencyCDF(method, refMethod int, minRef time.Duration) *CDF {
+	c := &CDF{}
+	for pi := 0; pi < a.nPaths; pi++ {
+		ref := &a.perPath[refMethod][pi]
+		if ref.latN == 0 {
+			continue
+		}
+		refLat := time.Duration(ref.latSumNS / float64(ref.latN))
+		if refLat < minRef {
+			continue
+		}
+		ps := &a.perPath[method][pi]
+		if ps.latN == 0 {
+			continue
+		}
+		c.Add(ps.latSumNS / float64(ps.latN) / float64(time.Millisecond))
+	}
+	return c
+}
+
+// PathCount returns how many ordered paths have observations for the
+// method (useful for reporting "on the N paths on which...").
+func (a *Aggregator) PathCount(method int) int {
+	n := 0
+	for pi := 0; pi < a.nPaths; pi++ {
+		if a.perPath[method][pi].probes > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// PathTotals exposes one path's raw counters for a method (testing and
+// diagnostics).
+func (a *Aggregator) PathTotals(method, src, dst int) (probes, firstLost, bothLost, effLost int64) {
+	ps := &a.perPath[method][a.pathIndex(src, dst)]
+	return ps.probes, ps.firstLost, ps.bothLost, ps.effLost
+}
+
+// String summarizes the aggregator.
+func (a *Aggregator) String() string {
+	var total int64
+	for m := range a.methods {
+		for pi := 0; pi < a.nPaths; pi++ {
+			total += a.perPath[m][pi].probes
+		}
+	}
+	return fmt.Sprintf("analysis.Aggregator{methods=%d hosts=%d probes=%d}",
+		len(a.methods), a.nHosts, total)
+}

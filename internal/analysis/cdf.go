@@ -1,0 +1,116 @@
+package analysis
+
+import "sort"
+
+// CDF is an empirical cumulative distribution built from samples. It is
+// cheap to append to; queries sort lazily.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends one sample.
+func (c *CDF) Add(v float64) {
+	c.samples = append(c.samples, v)
+	c.sorted = false
+}
+
+// AddAll appends many samples.
+func (c *CDF) AddAll(vs []float64) {
+	c.samples = append(c.samples, vs...)
+	c.sorted = false
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.samples) }
+
+func (c *CDF) ensureSorted() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// FractionAtMost returns the empirical P(X <= x); 0 with no samples.
+func (c *CDF) FractionAtMost(x float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	i := sort.SearchFloat64s(c.samples, x)
+	// SearchFloat64s returns the first index with samples[i] >= x;
+	// advance over equal values to make the bound inclusive.
+	for i < len(c.samples) && c.samples[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(c.samples))
+}
+
+// Quantile returns the q-quantile (q in [0,1]) using the nearest-rank
+// method; 0 with no samples.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	if q <= 0 {
+		return c.samples[0]
+	}
+	if q >= 1 {
+		return c.samples[len(c.samples)-1]
+	}
+	idx := int(q * float64(len(c.samples)))
+	if idx >= len(c.samples) {
+		idx = len(c.samples) - 1
+	}
+	return c.samples[idx]
+}
+
+// Mean returns the sample mean; 0 with no samples.
+func (c *CDF) Mean() float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range c.samples {
+		sum += v
+	}
+	return sum / float64(len(c.samples))
+}
+
+// Max returns the largest sample; 0 with no samples.
+func (c *CDF) Max() float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	return c.samples[len(c.samples)-1]
+}
+
+// Point is one (x, P(X<=x)) pair of a rendered CDF series.
+type Point struct {
+	X, F float64
+}
+
+// Grid evaluates the CDF at evenly spaced points spanning [lo, hi],
+// producing a plottable series like the paper's figures.
+func (c *CDF) Grid(lo, hi float64, points int) []Point {
+	if points < 2 {
+		points = 2
+	}
+	out := make([]Point, points)
+	step := (hi - lo) / float64(points-1)
+	for i := range out {
+		x := lo + float64(i)*step
+		out[i] = Point{X: x, F: c.FractionAtMost(x)}
+	}
+	return out
+}
+
+// Samples returns a copy of the (sorted) samples.
+func (c *CDF) Samples() []float64 {
+	c.ensureSorted()
+	out := make([]float64, len(c.samples))
+	copy(out, c.samples)
+	return out
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RenderTable5 formats method totals like the paper's Table 5: columns
+// 1lp, 2lp, totlp, clp, lat. Latency is printed in milliseconds; the
+// latencyLabel lets round-trip campaigns print "RTT" (Table 7).
+func RenderTable5(rows []MethodTotals, latencyLabel string) string {
+	if latencyLabel == "" {
+		latencyLabel = "lat"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %6s %6s %7s %7s %8s\n",
+		"Type", "1lp", "2lp", "totlp", "clp", latencyLabel)
+	for _, r := range rows {
+		second, clp := "-", "-"
+		if r.Pair {
+			second = fmt.Sprintf("%.2f", r.SecondLossPct)
+			clp = fmt.Sprintf("%.2f", r.CondLossPct)
+		}
+		fmt.Fprintf(&b, "%-14s %6.2f %6s %7.2f %7s %8.2f\n",
+			r.Method, r.FirstLossPct, second, r.TotalLossPct, clp,
+			float64(r.MeanLatency)/float64(time.Millisecond))
+	}
+	return b.String()
+}
+
+// RenderTable6 formats the high-loss-hours table like the paper's
+// Table 6: one row per threshold, one column per method.
+func RenderTable6(t6 Table6) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "Loss %")
+	for _, m := range t6.Methods {
+		fmt.Fprintf(&b, " %13s", m)
+	}
+	b.WriteByte('\n')
+	for k, thr := range t6.Thresholds {
+		fmt.Fprintf(&b, "> %-6.0f", thr)
+		for m := range t6.Methods {
+			fmt.Fprintf(&b, " %13d", t6.Counts[m][k])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "(path-hours per method: %d; worst hour: %.1f%% loss)\n",
+		periodsSummary(t6.Periods), t6.WorstHourPct)
+	return b.String()
+}
+
+func periodsSummary(periods []int64) int64 {
+	var max int64
+	for _, p := range periods {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// RenderCDF formats a CDF series as two-column text (x, fraction),
+// mirroring the gnuplot data behind the paper's figures.
+func RenderCDF(label string, pts []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", label)
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%10.4f %8.4f\n", p.X, p.F)
+	}
+	return b.String()
+}
+
+// RenderCDFOverlay formats several CDF series side by side on a shared
+// grid: first column x, then one fraction column per series.
+func RenderCDFOverlay(title string, lo, hi float64, points int,
+	names []string, cdfs []*CDF) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	fmt.Fprintf(&b, "%10s", "x")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %13s", n)
+	}
+	b.WriteByte('\n')
+	grids := make([][]Point, len(cdfs))
+	for i, c := range cdfs {
+		grids[i] = c.Grid(lo, hi, points)
+	}
+	for row := 0; row < points; row++ {
+		fmt.Fprintf(&b, "%10.3f", grids[0][row].X)
+		for i := range grids {
+			fmt.Fprintf(&b, " %13.4f", grids[i][row].F)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/netsim"
+	"repro/internal/route"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Result is the outcome of a campaign: the fed aggregator plus run
+// metadata. Table/figure accessors live on the aggregator; Result adds
+// the paper-specific row compositions.
+type Result struct {
+	Config  Config
+	Testbed *topo.Testbed
+	Methods []route.Method
+	Agg     *analysis.Aggregator
+
+	// RONProbes counts routing probes sent (§3.1 overhead).
+	RONProbes int64
+	// MeasureProbes counts §4.1 measurement probes (observations).
+	MeasureProbes int64
+	// RouteChanges counts table entries that changed across refreshes,
+	// a measure of routing dynamism.
+	RouteChanges int64
+}
+
+// campaign is the running state of one simulation.
+type campaign struct {
+	cfg     Config
+	tb      *topo.Testbed
+	nw      *netsim.Network
+	sel     *route.Selector
+	agg     *analysis.Aggregator
+	rng     *netsim.Source
+	methods []route.Method
+	tables  route.Tables
+	queue   eventQueue
+	end     netsim.Time
+
+	// perNodeMethod rotates each node through the method list ("the
+	// nodes cycle through the different probe types", §4.1).
+	perNodeMethod []int
+
+	res *Result
+}
+
+// Run executes a campaign and returns its results.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tb := cfg.testbed()
+	methods := cfg.methods()
+	names := make([]string, len(methods))
+	for i, m := range methods {
+		names[i] = m.Name
+	}
+
+	c := &campaign{
+		cfg:           cfg,
+		tb:            tb,
+		nw:            netsim.New(tb, cfg.Profile, cfg.Seed),
+		sel:           route.NewSelector(tb.N()),
+		agg:           analysis.NewAggregator(names, tb.N()),
+		rng:           netsim.NewSource(cfg.Seed ^ 0xCA39A160),
+		methods:       methods,
+		end:           netsim.Time(cfg.Days * float64(netsim.Day)),
+		perNodeMethod: make([]int, tb.N()),
+	}
+	c.res = &Result{Config: cfg, Testbed: tb, Methods: methods, Agg: c.agg}
+
+	c.seed()
+	c.loop()
+	c.agg.Flush()
+	return c.res, nil
+}
+
+// seed schedules the initial events: one routing probe per ordered pair
+// (phase-jittered across the probe interval), the periodic table refresh,
+// and one measurement probe per node.
+func (c *campaign) seed() {
+	n := c.tb.N()
+	interval := netsim.FromDuration(c.cfg.ProbeInterval)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			phase := netsim.Time(c.rng.Float64() * float64(interval))
+			c.queue.push(event{t: phase, kind: evRONProbe, a: int32(s), b: int32(d)})
+		}
+	}
+	c.queue.push(event{t: netsim.FromDuration(c.cfg.TableRefresh), kind: evTableRefresh})
+	for s := 0; s < n; s++ {
+		c.queue.push(event{t: c.measureGap(), kind: evMeasure, a: int32(s)})
+		c.perNodeMethod[s] = c.rng.Intn(len(c.methods))
+	}
+	if c.cfg.Hysteresis > 0 {
+		c.sel.SetHysteresis(c.cfg.Hysteresis)
+	}
+	// Start with empty tables (all direct), as a freshly booted RON
+	// would.
+	c.tables = c.snapshotTables()
+}
+
+// snapshotTables computes routing tables, honoring configured hysteresis.
+func (c *campaign) snapshotTables() route.Tables {
+	if c.cfg.Hysteresis <= 0 {
+		return c.sel.Snapshot()
+	}
+	n := c.tb.N()
+	t := route.Tables{
+		LossVia: make([][]int, n),
+		LatVia:  make([][]int, n),
+	}
+	for i := 0; i < n; i++ {
+		t.LossVia[i] = make([]int, n)
+		t.LatVia[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				t.LossVia[i][j], t.LatVia[i][j] = -1, -1
+				continue
+			}
+			t.LossVia[i][j] = c.sel.BestLossStable(i, j).Via
+			t.LatVia[i][j] = c.sel.BestLatStable(i, j).Via
+		}
+	}
+	return t
+}
+
+// measureGap draws the §4.1 inter-probe pause.
+func (c *campaign) measureGap() netsim.Time {
+	lo := float64(c.cfg.MeasureGapMin)
+	hi := float64(c.cfg.MeasureGapMax)
+	return netsim.Time(c.rng.Uniform(lo, hi))
+}
+
+// loop drains the event queue until the virtual campaign ends.
+func (c *campaign) loop() {
+	for c.queue.len() > 0 {
+		e := c.queue.pop()
+		if e.t >= c.end {
+			continue // past the end; drop (queue drains quickly)
+		}
+		switch e.kind {
+		case evRONProbe:
+			c.ronProbe(e.t, int(e.a), int(e.b))
+			c.queue.push(event{
+				t:    e.t + netsim.FromDuration(c.cfg.ProbeInterval),
+				kind: evRONProbe, a: e.a, b: e.b,
+			})
+		case evRONFollowUp:
+			c.ronFollowUp(e.t, int(e.a), int(e.b), e.k)
+		case evTableRefresh:
+			c.refreshTables()
+			c.queue.push(event{
+				t:    e.t + netsim.FromDuration(c.cfg.TableRefresh),
+				kind: evTableRefresh,
+			})
+		case evMeasure:
+			c.measure(e.t, int(e.a))
+			c.queue.push(event{t: e.t + c.measureGap(), kind: evMeasure, a: e.a})
+		}
+	}
+}
+
+// ronProbe sends one §3.1 routing probe on the direct virtual link s→d
+// and folds the outcome into the selector. A loss triggers the follow-up
+// string.
+func (c *campaign) ronProbe(t netsim.Time, s, d int) {
+	c.res.RONProbes++
+	o := c.nw.Send(t, netsim.Direct(s, d))
+	c.sel.Record(s, d, !o.Delivered, o.Latency.Duration())
+	if !o.Delivered {
+		c.queue.push(event{t: t + netsim.Second, kind: evRONFollowUp,
+			a: int32(s), b: int32(d), k: 1})
+	}
+}
+
+// ronFollowUp sends the k-th of up to four 1s-spaced probes after a loss,
+// stopping early on success (§3.1).
+func (c *campaign) ronFollowUp(t netsim.Time, s, d int, k uint8) {
+	c.res.RONProbes++
+	o := c.nw.Send(t, netsim.Direct(s, d))
+	c.sel.Record(s, d, !o.Delivered, o.Latency.Duration())
+	if !o.Delivered && k < 4 {
+		c.queue.push(event{t: t + netsim.Second, kind: evRONFollowUp,
+			a: int32(s), b: int32(d), k: k + 1})
+	}
+}
+
+// refreshTables recomputes routing tables and tallies changes.
+func (c *campaign) refreshTables() {
+	next := c.snapshotTables()
+	if c.tables.LossVia != nil {
+		n := c.tb.N()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if next.LossVia[i][j] != c.tables.LossVia[i][j] {
+					c.res.RouteChanges++
+				}
+				if next.LatVia[i][j] != c.tables.LatVia[i][j] {
+					c.res.RouteChanges++
+				}
+			}
+		}
+	}
+	c.tables = next
+}
+
+// resolve maps a tactic to a concrete route for src→dst under current
+// tables. Rand picks a fresh intermediate per packet.
+func (c *campaign) resolve(tac route.Tactic, src, dst int) netsim.Route {
+	switch tac {
+	case route.Direct:
+		return netsim.Direct(src, dst)
+	case route.Rand:
+		via := c.randVia(src, dst)
+		return netsim.Indirect(src, dst, via)
+	case route.Lat:
+		if via := c.tables.LatVia[src][dst]; via >= 0 {
+			return netsim.Indirect(src, dst, via)
+		}
+		return netsim.Direct(src, dst)
+	case route.Loss:
+		if via := c.tables.LossVia[src][dst]; via >= 0 {
+			return netsim.Indirect(src, dst, via)
+		}
+		return netsim.Direct(src, dst)
+	default:
+		panic(fmt.Sprintf("core: unknown tactic %v", tac))
+	}
+}
+
+// randVia draws a uniform intermediate distinct from both endpoints.
+func (c *campaign) randVia(src, dst int) int {
+	n := c.tb.N()
+	for {
+		v := c.rng.Intn(n)
+		if v != src && v != dst {
+			return v
+		}
+	}
+}
+
+// measure executes one §4.1 measurement probe from node s: pick the next
+// method in the node's rotation, a random destination, send the copies,
+// and record the observation.
+func (c *campaign) measure(t netsim.Time, s int) {
+	m := c.perNodeMethod[s]
+	c.perNodeMethod[s] = (m + 1) % len(c.methods)
+	method := c.methods[m]
+
+	d := c.rng.Intn(c.tb.N() - 1)
+	if d >= s {
+		d++
+	}
+
+	obs := analysis.Observation{
+		Method: m,
+		Src:    s,
+		Dst:    d,
+		Time:   int64(t),
+		Copies: method.Copies(),
+	}
+	var probeID uint64
+	if c.cfg.TraceSink != nil {
+		probeID = c.rng.Uint64() // random 64-bit identifier, §4.1
+	}
+	sendAt := t
+	for i, tac := range method.Tactics {
+		if i == 1 && method.Gap > 0 {
+			sendAt = t + netsim.FromDuration(method.Gap)
+		}
+		r := c.resolve(tac, s, d)
+		c.emitTrace(trace.KindSend, s, d, probeID, sendAt, m, tac, i, method.Copies(), r.Via)
+		o := c.nw.Send(sendAt, r)
+		if !o.Delivered {
+			obs.Lost[i] = true
+			continue
+		}
+		lat := o.Latency.Duration()
+		c.emitTrace(trace.KindRecv, d, s, probeID, sendAt+o.Latency, m, tac, i, method.Copies(), r.Via)
+		if c.cfg.roundTrip() {
+			lat += c.reverseLatency(sendAt+o.Latency, d, s)
+		}
+		obs.Lat[i] = lat
+	}
+	c.res.MeasureProbes++
+	c.agg.Observe(obs)
+}
+
+// emitTrace forwards one §4.1 log record to the configured sink.
+func (c *campaign) emitTrace(kind trace.Kind, node, peer int, id uint64,
+	at netsim.Time, method int, tac route.Tactic, copyIdx, copies, via int) {
+	if c.cfg.TraceSink == nil {
+		return
+	}
+	v := wire.NoNode
+	if via >= 0 {
+		v = wire.NodeID(via)
+	}
+	c.cfg.TraceSink(trace.Record{
+		Kind:      kind,
+		Node:      wire.NodeID(node),
+		Peer:      wire.NodeID(peer),
+		ProbeID:   id,
+		Time:      int64(at),
+		Method:    uint8(method),
+		Tactic:    tac.Wire(),
+		CopyIndex: uint8(copyIdx),
+		Copies:    uint8(copies),
+		Via:       v,
+	})
+}
+
+// reverseLatency measures the return leg for round-trip campaigns
+// (RONwide logs RTTs, Table 7). Responses travel the direct path; if the
+// response is lost — rare — the uncongested base latency stands in so the
+// RTT sample is not discarded.
+func (c *campaign) reverseLatency(t netsim.Time, from, to int) time.Duration {
+	o := c.nw.Send(t, netsim.Direct(from, to))
+	if o.Delivered {
+		return o.Latency.Duration()
+	}
+	return c.nw.BaseLatency(netsim.Direct(from, to)).Duration()
+}

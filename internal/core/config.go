@@ -1,0 +1,159 @@
+// Package core orchestrates measurement campaigns: it drives the paper's
+// probe processes (§3.1 RON probing, §4.1 measurement probes) over the
+// simulated substrate, feeds the routing selector and the statistics
+// aggregator, and exposes the results as the paper's tables and figures.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/route"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Dataset selects one of the paper's three measurement campaigns
+// (Table 3).
+type Dataset uint8
+
+// Datasets.
+const (
+	// RON2003 is the 2003 campaign: 30 hosts, six probe sets, fourteen
+	// days, 32.6M samples.
+	RON2003 Dataset = iota
+	// RONwide is the July 2002 campaign: 17 hosts, eleven routing
+	// methods, round-trip samples (Table 7).
+	RONwide
+	// RONnarrow is the July 2002 campaign measuring the three most
+	// promising methods with frequent one-way probes.
+	RONnarrow
+)
+
+// String names the dataset as in Table 3.
+func (d Dataset) String() string {
+	switch d {
+	case RON2003:
+		return "RON2003"
+	case RONwide:
+		return "RONwide"
+	case RONnarrow:
+		return "RONnarrow"
+	default:
+		return fmt.Sprintf("dataset(%d)", uint8(d))
+	}
+}
+
+// Config parameterizes a campaign. The zero value is not runnable; start
+// from DefaultConfig.
+type Config struct {
+	// Dataset picks the testbed size, method set, and latency semantics.
+	Dataset Dataset
+	// Days is the virtual campaign length. The paper ran 4–14 days;
+	// shorter campaigns reproduce the same statistics with wider error
+	// bars.
+	Days float64
+	// Seed makes the whole campaign deterministic.
+	Seed uint64
+	// Profile overrides the substrate profile (nil = calibrated
+	// default). Used by ablation benchmarks.
+	Profile *netsim.Profile
+	// Methods overrides the dataset's method set (nil = paper's set).
+	Methods []route.Method
+
+	// ProbeInterval is the RON routing-probe interval; the paper's
+	// system probes every pair every 15 seconds (§3.1).
+	ProbeInterval time.Duration
+	// LossWindow is the probe window for path selection (paper: 100).
+	LossWindow int
+	// TableRefresh is how often routing tables are recomputed from
+	// current estimates; it models route-dissemination latency.
+	TableRefresh time.Duration
+	// Hysteresis, when > 0, damps route selection: a challenger path
+	// must beat the held path's metric by this relative margin before
+	// the lat/loss tables move (RON-style flap suppression). 0 (the
+	// paper's simple selector) switches on any improvement.
+	Hysteresis float64
+	// MeasureGapMin/Max bound the random pause between a node's
+	// measurement probes ("waits for a random amount of time between
+	// 0.6 and 1.2 seconds", §4.1).
+	MeasureGapMin, MeasureGapMax time.Duration
+
+	// TraceSink, when non-nil, receives a §4.1-style log record for
+	// every measurement-probe packet sent and received, letting
+	// campaigns persist the same raw logs the testbed's central
+	// monitoring machine collected (feed them to internal/trace and
+	// cmd/ronreport). Records arrive in virtual-time order of the
+	// sends.
+	TraceSink func(trace.Record)
+}
+
+// DefaultConfig returns the paper-faithful configuration for a dataset at
+// the given virtual length. Days <= 0 selects a 2-day campaign — long
+// enough for stable Table 5 statistics while keeping the default run fast.
+func DefaultConfig(d Dataset, days float64) Config {
+	if days <= 0 {
+		days = 2
+	}
+	return Config{
+		Dataset:       d,
+		Days:          days,
+		Seed:          1,
+		ProbeInterval: 15 * time.Second,
+		LossWindow:    route.DefaultLossWindow,
+		TableRefresh:  15 * time.Second,
+		MeasureGapMin: 600 * time.Millisecond,
+		MeasureGapMax: 1200 * time.Millisecond,
+	}
+}
+
+// testbed returns the dataset's host set.
+func (c Config) testbed() *topo.Testbed {
+	if c.Dataset == RON2003 {
+		return topo.RON2003()
+	}
+	return topo.RON2002()
+}
+
+// methods returns the effective method list.
+func (c Config) methods() []route.Method {
+	if c.Methods != nil {
+		return c.Methods
+	}
+	switch c.Dataset {
+	case RONwide:
+		return route.RONwideMethods()
+	case RONnarrow:
+		return route.RONnarrowMethods()
+	default:
+		return route.RON2003Methods()
+	}
+}
+
+// roundTrip reports whether latency samples are round-trip times
+// (RONwide; "This table presents round-trip latency numbers", Table 7).
+func (c Config) roundTrip() bool { return c.Dataset == RONwide }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Days <= 0 {
+		return fmt.Errorf("core: Days = %v, want > 0", c.Days)
+	}
+	if c.ProbeInterval <= 0 {
+		return fmt.Errorf("core: ProbeInterval = %v, want > 0", c.ProbeInterval)
+	}
+	if c.TableRefresh <= 0 {
+		return fmt.Errorf("core: TableRefresh = %v, want > 0", c.TableRefresh)
+	}
+	if c.MeasureGapMin <= 0 || c.MeasureGapMax < c.MeasureGapMin {
+		return fmt.Errorf("core: measurement gap [%v,%v] invalid",
+			c.MeasureGapMin, c.MeasureGapMax)
+	}
+	for _, m := range c.methods() {
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	return nil
+}

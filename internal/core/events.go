@@ -1,0 +1,87 @@
+package core
+
+import "repro/internal/netsim"
+
+// eventKind discriminates campaign events.
+type eventKind uint8
+
+const (
+	// evRONProbe is a routing probe for one ordered pair (§3.1).
+	evRONProbe eventKind = iota
+	// evRONFollowUp is one of the up-to-four 1s-spaced probes sent
+	// after a routing-probe loss.
+	evRONFollowUp
+	// evTableRefresh recomputes routing tables from current estimates.
+	evTableRefresh
+	// evMeasure is one §4.1 measurement probe from a node.
+	evMeasure
+)
+
+// event is one scheduled campaign action. a/b carry kind-specific host
+// indices; k counts follow-up attempts.
+type event struct {
+	t    netsim.Time
+	seq  uint64 // insertion order; breaks time ties deterministically
+	kind eventKind
+	a, b int32
+	k    uint8
+}
+
+// eventQueue is a binary min-heap on (t, seq). A hand-rolled heap avoids
+// the container/heap interface overhead in the campaign's hot loop.
+type eventQueue struct {
+	h   []event
+	seq uint64
+}
+
+// push schedules an event, assigning its sequence number.
+func (q *eventQueue) push(e event) {
+	e.seq = q.seq
+	q.seq++
+	q.h = append(q.h, e)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. It must not be called on an
+// empty queue.
+func (q *eventQueue) pop() event {
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < last && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.h[i], q.h[smallest] = q.h[smallest], q.h[i]
+		i = smallest
+	}
+	return top
+}
+
+func (q *eventQueue) less(i, j int) bool {
+	if q.h[i].t != q.h[j].t {
+		return q.h[i].t < q.h[j].t
+	}
+	return q.h[i].seq < q.h[j].seq
+}
+
+// len returns the number of pending events.
+func (q *eventQueue) len() int { return len(q.h) }

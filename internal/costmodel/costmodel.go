@@ -1,0 +1,268 @@
+// Package costmodel implements §5.3 of the paper: the bandwidth-budget
+// trade-off between probe-based reactive routing and redundant multi-path
+// routing, and the Figure 6 design space with its three bounds (capacity
+// limit, independence limit, best-expected-path limit).
+//
+// The model answers the paper's closing question concretely: "for a given
+// application, what is the best allocation of that budget between
+// reactive routing and mesh routing?"
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Params describes the network and application under analysis.
+type Params struct {
+	// N is the overlay size; reactive probing costs grow as N²
+	// ("each host must send and receive O(N²) data").
+	N int
+	// ProbeInterval and ProbeSize set the base probing cost (§3.1:
+	// every node probes every other every 15 s).
+	ProbeInterval time.Duration
+	ProbeSize     int // bytes per probe packet (request+response)
+	// GossipInterval and GossipEntrySize set the route-dissemination
+	// cost: each node ships N-1 link entries to N-1 peers.
+	GossipInterval  time.Duration
+	GossipEntrySize int
+	// LinkCapacity is the host's access capacity in bytes/second.
+	LinkCapacity float64
+	// FlowRate is the application's data rate in bytes/second.
+	FlowRate float64
+	// CLP is the conditional loss probability between copies sent on
+	// "independent" paths (the paper measures ≈0.62 for direct+random
+	// in 2003); each extra copy multiplies the avoidable residual by
+	// this factor.
+	CLP float64
+	// SharedFraction is the fraction of loss that no amount of path
+	// diversity avoids (shared edge infrastructure); it caps redundant
+	// routing's improvement — the paper's Independence Limit, for
+	// which "50% ... would be a reasonable upper limit".
+	SharedFraction float64
+	// BestPathImprovement is the loss-rate improvement of the best
+	// expected path over the default path (the paper's Best Expected
+	// Path Limit); reactive routing approaches it asymptotically.
+	BestPathImprovement float64
+}
+
+// Defaults returns parameters matching the paper's system and findings:
+// a 30-node RON probing every 15 s, CLP 0.62, independence limit 0.5,
+// and reactive routing able to avoid ~40% of losses at best ("about 40%
+// of the losses we observed were avoidable", §6).
+func Defaults() Params {
+	return Params{
+		N:                   30,
+		ProbeInterval:       15 * time.Second,
+		ProbeSize:           64,
+		GossipInterval:      15 * time.Second,
+		GossipEntrySize:     8,
+		LinkCapacity:        1.5e6 / 8, // a T1-ish access link, B/s
+		FlowRate:            16e3 / 8,  // a 16 kb/s interactive stream
+		CLP:                 0.62,
+		SharedFraction:      0.5,
+		BestPathImprovement: 0.40,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.N < 2:
+		return fmt.Errorf("costmodel: N = %d", p.N)
+	case p.ProbeInterval <= 0 || p.GossipInterval <= 0:
+		return fmt.Errorf("costmodel: non-positive intervals")
+	case p.ProbeSize <= 0 || p.GossipEntrySize <= 0:
+		return fmt.Errorf("costmodel: non-positive sizes")
+	case p.LinkCapacity <= 0 || p.FlowRate <= 0:
+		return fmt.Errorf("costmodel: non-positive rates")
+	case p.FlowRate > p.LinkCapacity:
+		return fmt.Errorf("costmodel: flow exceeds capacity")
+	case p.CLP < 0 || p.CLP >= 1:
+		return fmt.Errorf("costmodel: CLP %v out of [0,1)", p.CLP)
+	case p.SharedFraction < 0 || p.SharedFraction >= 1:
+		return fmt.Errorf("costmodel: shared fraction %v out of [0,1)", p.SharedFraction)
+	case p.BestPathImprovement <= 0 || p.BestPathImprovement >= 1:
+		return fmt.Errorf("costmodel: best-path improvement %v out of (0,1)", p.BestPathImprovement)
+	}
+	return nil
+}
+
+// ReactiveOverhead returns the per-host probing + dissemination cost in
+// bytes/second at the base probing rate: probes to and from N-1 peers
+// plus link-state gossip of N-1 entries to N-1 peers — the fixed O(N²)
+// cost that "can be large in comparison to a thin data stream, or
+// negligible when used in conjunction with a high bandwidth stream".
+func (p Params) ReactiveOverhead() float64 {
+	n := float64(p.N - 1)
+	probes := 2 * n * float64(p.ProbeSize) / p.ProbeInterval.Seconds()
+	gossip := 2 * n * n * float64(p.GossipEntrySize) / p.GossipInterval.Seconds()
+	return probes + gossip
+}
+
+// RedundantOverhead returns the extra bytes/second of R-redundant
+// routing: (R-1) copies of the flow. "A 2-redundant routing scheme
+// results in a doubling of the amount of traffic sent."
+func (p Params) RedundantOverhead(r int) float64 {
+	if r < 1 {
+		return 0
+	}
+	return float64(r-1) * p.FlowRate
+}
+
+// CopiesForImprovement returns the number of copies R needed so the
+// residual loss fraction s + (1-s)·CLP^(R-1) achieves the requested
+// improvement, or 0 if the improvement exceeds the independence limit.
+func (p Params) CopiesForImprovement(x float64) int {
+	limit := p.RedundantLimit()
+	if x <= 0 {
+		return 1
+	}
+	if x >= limit {
+		return 0
+	}
+	if p.CLP == 0 {
+		return 2
+	}
+	// improvement(R) = (1-s)(1 - CLP^(R-1)); solve for R.
+	frac := 1 - x/(1-p.SharedFraction)
+	r := 1 + math.Log(frac)/math.Log(p.CLP)
+	return int(math.Ceil(r - 1e-9))
+}
+
+// RedundantLimit is the independence limit: the most loss improvement
+// path diversity can deliver given the shared infrastructure.
+func (p Params) RedundantLimit() float64 { return 1 - p.SharedFraction }
+
+// ReactiveLimit is the best-expected-path limit.
+func (p Params) ReactiveLimit() float64 { return p.BestPathImprovement }
+
+// ReactiveRateScale returns the probing-rate multiplier needed to
+// achieve improvement x: reaction time shrinks as the target approaches
+// the best-path limit, so the rate grows hyperbolically and the scheme
+// "asymptotically approaches the performance of the best expected path".
+func (p Params) ReactiveRateScale(x float64) float64 {
+	if x <= 0 {
+		// "The constant bandwidth required by reactive routing
+		// decreases slightly with a relaxation in loss rate demands."
+		return 0.25
+	}
+	if x >= p.BestPathImprovement {
+		return math.Inf(1)
+	}
+	return 1 / (1 - x/p.BestPathImprovement)
+}
+
+// Point is one (improvement, data-capacity-fraction) sample of Figure 6.
+type Point struct {
+	// Improvement is the desired loss-rate improvement, 0..1
+	// ("LossInternet − LossMethod) / LossInternet").
+	Improvement float64
+	// DataFraction is the share of link capacity left for application
+	// data after the scheme's overhead; <= 0 means infeasible.
+	DataFraction float64
+}
+
+// DesignSpace is the quantified Figure 6.
+type DesignSpace struct {
+	Reactive  []Point
+	Redundant []Point
+	// ReactiveLimit and RedundantLimit mark the vertical asymptotes
+	// (best-expected-path and independence limits).
+	ReactiveLimit  float64
+	RedundantLimit float64
+}
+
+// Space evaluates both schemes' data-capacity frontier across the
+// improvement axis with the given resolution.
+func (p Params) Space(points int) (DesignSpace, error) {
+	if err := p.Validate(); err != nil {
+		return DesignSpace{}, err
+	}
+	if points < 2 {
+		points = 2
+	}
+	ds := DesignSpace{
+		ReactiveLimit:  p.ReactiveLimit(),
+		RedundantLimit: p.RedundantLimit(),
+	}
+	base := p.ReactiveOverhead()
+	for i := 0; i < points; i++ {
+		x := float64(i) / float64(points-1)
+		// Reactive: fixed cost scaled by required probing rate.
+		rFrac := -1.0
+		if scale := p.ReactiveRateScale(x); !math.IsInf(scale, 1) {
+			rFrac = 1 - base*scale/p.LinkCapacity
+		}
+		ds.Reactive = append(ds.Reactive, Point{x, rFrac})
+		// Redundant: copies needed for x.
+		dFrac := -1.0
+		if r := p.CopiesForImprovement(x); r > 0 {
+			dFrac = 1 - p.RedundantOverhead(r)/p.LinkCapacity
+		}
+		ds.Redundant = append(ds.Redundant, Point{x, dFrac})
+	}
+	return ds, nil
+}
+
+// Strategy is a routing-scheme recommendation.
+type Strategy uint8
+
+// Strategies.
+const (
+	// StrategyNone: the target improvement is unreachable within the
+	// capacity and independence limits.
+	StrategyNone Strategy = iota
+	// StrategyReactive: probe-based path selection costs less here.
+	StrategyReactive
+	// StrategyRedundant: duplicate transmission costs less here.
+	StrategyRedundant
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyReactive:
+		return "reactive"
+	case StrategyRedundant:
+		return "redundant"
+	default:
+		return "none"
+	}
+}
+
+// Recommend picks the cheaper feasible scheme for a target improvement:
+// the paper's rule of thumb that "for low-bandwidth flows, redundant
+// approaches can offer similar benefits with lower overhead; for
+// high-bandwidth flows ... alternate-path routing has constant overhead"
+// falls out of the arithmetic.
+func (p Params) Recommend(target float64) (Strategy, error) {
+	if err := p.Validate(); err != nil {
+		return StrategyNone, err
+	}
+	if target < 0 || target >= 1 {
+		return StrategyNone, fmt.Errorf("costmodel: target %v out of [0,1)", target)
+	}
+	spare := p.LinkCapacity - p.FlowRate
+	reactCost := math.Inf(1)
+	if target < p.ReactiveLimit() {
+		reactCost = p.ReactiveOverhead() * p.ReactiveRateScale(target)
+	}
+	redunCost := math.Inf(1)
+	if r := p.CopiesForImprovement(target); r > 0 {
+		redunCost = p.RedundantOverhead(r)
+	}
+	switch {
+	case reactCost > spare && redunCost > spare:
+		return StrategyNone, nil
+	case redunCost > spare:
+		return StrategyReactive, nil
+	case reactCost > spare:
+		return StrategyRedundant, nil
+	case reactCost <= redunCost:
+		return StrategyReactive, nil
+	default:
+		return StrategyRedundant, nil
+	}
+}

@@ -1,0 +1,111 @@
+// Package fec implements packet-level forward error correction as
+// discussed in §5.2 of the paper: systematic Reed–Solomon erasure codes
+// over GF(2^8) (the "standard codes" of Rizzo's RMDP [28]), plus the
+// interleaving scheduler needed to spread redundancy across time so that
+// bursty, correlated losses — the paper's central measurement — do not
+// wipe out a whole code group.
+package fec
+
+// GF(2^8) arithmetic with the primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11D), the field conventionally used by packet erasure codes.
+
+const gfPoly = 0x11D
+
+var (
+	gfExp [512]byte // generator powers, doubled to skip mod 255
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b; b must be nonzero.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("fec: division by zero in GF(2^8)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse; a must be nonzero.
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// gfPow returns a**n.
+func gfPow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	l := (int(gfLog[a]) * n) % 255
+	if l < 0 {
+		l += 255
+	}
+	return gfExp[l]
+}
+
+// mulAdd computes dst[i] ^= c * src[i] for all i — the inner loop of
+// encoding and reconstruction.
+func mulAdd(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i := range src {
+			dst[i] ^= src[i]
+		}
+		return
+	}
+	logC := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[logC+int(gfLog[s])]
+		}
+	}
+}
+
+// mulSlice computes dst[i] = c * src[i].
+func mulSlice(dst, src []byte, c byte) {
+	if c == 0 {
+		for i := range src {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	logC := int(gfLog[c])
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = gfExp[logC+int(gfLog[s])]
+		}
+	}
+}

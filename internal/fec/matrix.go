@@ -1,0 +1,130 @@
+package fec
+
+import "fmt"
+
+// matrix is a dense GF(2^8) matrix stored row-major.
+type matrix struct {
+	rows, cols int
+	d          []byte
+}
+
+func newMatrix(rows, cols int) *matrix {
+	return &matrix{rows: rows, cols: cols, d: make([]byte, rows*cols)}
+}
+
+func (m *matrix) at(r, c int) byte     { return m.d[r*m.cols+c] }
+func (m *matrix) set(r, c int, v byte) { m.d[r*m.cols+c] = v }
+func (m *matrix) row(r int) []byte     { return m.d[r*m.cols : (r+1)*m.cols] }
+
+// identity returns the n×n identity matrix.
+func identity(n int) *matrix {
+	m := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.set(i, i, 1)
+	}
+	return m
+}
+
+// vandermonde returns the rows×cols matrix with entry (r,c) = r^c, whose
+// every square submatrix over distinct rows is invertible — the classic
+// erasure-code construction.
+func vandermonde(rows, cols int) *matrix {
+	m := newMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.set(r, c, gfPow(byte(r), c))
+		}
+	}
+	return m
+}
+
+// mul returns m × other.
+func (m *matrix) mul(other *matrix) *matrix {
+	if m.cols != other.rows {
+		panic(fmt.Sprintf("fec: matrix dims %dx%d × %dx%d", m.rows, m.cols, other.rows, other.cols))
+	}
+	out := newMatrix(m.rows, other.cols)
+	for r := 0; r < m.rows; r++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.at(r, k)
+			if a == 0 {
+				continue
+			}
+			mulAdd(out.row(r), other.row(k), a)
+		}
+	}
+	return out
+}
+
+// subMatrix returns rows [r0,r1) × cols [c0,c1) as a copy.
+func (m *matrix) subMatrix(r0, r1, c0, c1 int) *matrix {
+	out := newMatrix(r1-r0, c1-c0)
+	for r := r0; r < r1; r++ {
+		copy(out.row(r-r0), m.row(r)[c0:c1])
+	}
+	return out
+}
+
+// invert returns the inverse of a square matrix via Gauss–Jordan, or an
+// error if singular.
+func (m *matrix) invert() (*matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("fec: cannot invert %dx%d matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	work := newMatrix(n, 2*n)
+	for r := 0; r < n; r++ {
+		copy(work.row(r), m.row(r))
+		work.set(r, n+r, 1)
+	}
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.at(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("fec: singular matrix")
+		}
+		if pivot != col {
+			pr, cr := work.row(pivot), work.row(col)
+			for i := range pr {
+				pr[i], cr[i] = cr[i], pr[i]
+			}
+		}
+		// Scale the pivot row to 1.
+		inv := gfInv(work.at(col, col))
+		mulSlice(work.row(col), work.row(col), inv)
+		// Eliminate the column elsewhere.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			c := work.at(r, col)
+			if c != 0 {
+				mulAdd(work.row(r), work.row(col), c)
+			}
+		}
+	}
+	return work.subMatrix(0, n, n, 2*n), nil
+}
+
+// systematicEncoding builds the (k+m)×k encoding matrix whose top k rows
+// are the identity (data shards pass through untouched — the "efficient
+// FEC sends the original packets first" of §5.2) and whose bottom m rows
+// generate parity. Construction: Vandermonde (k+m)×k, normalized so its
+// top square is the identity; every k-row subset remains invertible.
+func systematicEncoding(k, m int) *matrix {
+	v := vandermonde(k+m, k)
+	top := v.subMatrix(0, k, 0, k)
+	topInv, err := top.invert()
+	if err != nil {
+		// Vandermonde top squares over distinct points are always
+		// invertible; reaching here is a programming error.
+		panic(err)
+	}
+	return v.mul(topInv)
+}

@@ -1,0 +1,296 @@
+package netsim
+
+import (
+	"math"
+)
+
+// never is a sentinel Time for "no scheduled event".
+const never = Time(math.MaxInt64)
+
+// ComponentID identifies a component inside a Network.
+type ComponentID int32
+
+// NoComponent marks the absence of a component (e.g. no drop occurred).
+const NoComponent ComponentID = -1
+
+// Component models one piece of shared network infrastructure — a host's
+// access complex or the backbone between a host pair — as a set of lazily
+// evolved stochastic processes:
+//
+//   - a Gilbert–Elliott congestion process (good periods alternate with
+//     loss bursts; each burst has its own drop severity),
+//   - an up/down outage process (total loss while down),
+//   - a congestion-episode modulator that multiplies burst pressure for
+//     sustained stretches (driving the paper's high-loss hours, Table 6),
+//   - a latency-inflation episode process (the Cornell pathology, §4.5).
+//
+// Components are evolved only when queried ("lazy continuous-time Markov
+// chain"): Transit advances all processes to the query time and then
+// decides the packet's fate. Per-packet decisions are hash-derived from
+// the packet key, so outcomes do not depend on how queries from different
+// paths interleave. Queries slightly in the past (a packet sent earlier on
+// a longer route) observe the current state; the error is bounded by one
+// path latency, far below burst durations.
+//
+// Components are not safe for concurrent use; the Network serializes
+// access.
+type Component struct {
+	id     ComponentID
+	seed   uint64
+	class  ComponentClass
+	params ComponentParams
+	rng    *Source
+	// global, when non-nil, is the network-wide congestion weather
+	// shared by all components (§2.4's correlated failure sources).
+	global *globalModulator
+
+	now Time
+
+	// Congestion process.
+	congested bool
+	severity  float64 // drop probability while this burst lasts
+	nextCong  Time    // next congestion state flip
+
+	// Outage process.
+	down       bool
+	nextOutage Time
+
+	// Congestion-episode modulator.
+	episodeActive bool
+	episodeBoost  float64
+	nextEpisode   Time // next start (if inactive) or end (if active)
+
+	// Latency-inflation episodes.
+	latActive  bool
+	latInflate Time
+	nextLat    Time
+
+	// Counters for attribution and tests.
+	bursts   int64
+	outages  int64
+	episodes int64
+}
+
+// newComponent creates a component at virtual time 0 in the good/up state
+// with all next events drawn from the stationary processes.
+func newComponent(id ComponentID, seed uint64, class ComponentClass,
+	prof *Profile, params ComponentParams, global *globalModulator) *Component {
+	params.MeanGood = prof.effectiveMeanGood(class, params.MeanGood)
+	c := &Component{
+		id:     id,
+		seed:   seed,
+		class:  class,
+		params: params,
+		rng:    NewSource(seed),
+		global: global,
+	}
+	c.nextCong = c.drawGoodEnd(0)
+	if params.MeanUp > 0 {
+		c.nextOutage = Time(c.rng.Exp(float64(params.MeanUp)))
+	} else {
+		c.nextOutage = never
+	}
+	if params.EpisodeEvery > 0 {
+		c.nextEpisode = Time(c.rng.Exp(float64(params.EpisodeEvery)))
+	} else {
+		c.nextEpisode = never
+	}
+	if params.LatEpisodeEvery > 0 {
+		c.nextLat = Time(c.rng.Exp(float64(params.LatEpisodeEvery)))
+	} else {
+		c.nextLat = never
+	}
+	return c
+}
+
+// drawGoodEnd returns the end time of a good period starting at t, under
+// the current diurnal factor and episode boost.
+func (c *Component) drawGoodEnd(t Time) Time {
+	mean := float64(c.params.MeanGood)
+	mean /= diurnalFactor(t)
+	if c.episodeActive && c.episodeBoost > 0 {
+		mean /= c.episodeBoost
+	}
+	if c.global != nil {
+		mean /= c.global.factorAt(t)
+	}
+	d := Time(c.rng.Exp(mean))
+	if d < Millisecond {
+		d = Millisecond
+	}
+	return t + d
+}
+
+// drawBurst enters a loss burst at time t: picks its duration (short or
+// long mode) and severity.
+func (c *Component) drawBurst(t Time) {
+	c.congested = true
+	c.bursts++
+	var mean float64
+	if c.rng.Float64() < c.params.ShortWeight {
+		mean = float64(c.params.MeanBadShort)
+	} else {
+		mean = float64(c.params.MeanBadLong)
+	}
+	d := Time(c.rng.Exp(mean))
+	if d < Millisecond {
+		d = Millisecond
+	}
+	c.nextCong = t + d
+	c.severity = c.rng.Uniform(c.params.DropProbMin, c.params.DropProbMax)
+}
+
+// advance evolves every process up to time t, handling events in
+// chronological order.
+func (c *Component) advance(t Time) {
+	if t <= c.now {
+		return
+	}
+	for {
+		// Find the earliest pending event not after t.
+		next := c.nextCong
+		if c.nextOutage < next {
+			next = c.nextOutage
+		}
+		if c.nextEpisode < next {
+			next = c.nextEpisode
+		}
+		if c.nextLat < next {
+			next = c.nextLat
+		}
+		if next > t {
+			break
+		}
+		switch next {
+		case c.nextCong:
+			if c.congested {
+				c.congested = false
+				c.nextCong = c.drawGoodEnd(next)
+			} else {
+				c.drawBurst(next)
+			}
+		case c.nextOutage:
+			if c.down {
+				c.down = false
+				c.nextOutage = next + Time(c.rng.Exp(float64(c.params.MeanUp)))
+			} else {
+				c.down = true
+				c.outages++
+				// Heavy-tailed repair time: most outages last
+				// minutes (routing convergence), some much longer
+				// (§2: "tens of minutes to stabilize after a
+				// fault").
+				dur := c.rng.LogNormal(
+					math.Log(float64(c.params.MeanDown)), 0.7)
+				c.nextOutage = next + Time(dur)
+			}
+		case c.nextEpisode:
+			if c.episodeActive {
+				c.episodeActive = false
+				c.nextEpisode = next + Time(c.rng.Exp(float64(c.params.EpisodeEvery)))
+			} else {
+				c.episodeActive = true
+				c.episodes++
+				c.episodeBoost = c.rng.Uniform(
+					c.params.EpisodeBoostMin, c.params.EpisodeBoostMax)
+				c.nextEpisode = next + Time(c.rng.Exp(float64(c.params.EpisodeMean)))
+			}
+			// The congestion-entry rate changed; if currently in a
+			// good period, re-draw its end from the new rate
+			// (memorylessness makes this statistically sound).
+			if !c.congested {
+				c.nextCong = c.drawGoodEnd(next)
+			}
+		case c.nextLat:
+			if c.latActive {
+				c.latActive = false
+				c.latInflate = 0
+				c.nextLat = next + Time(c.rng.Exp(float64(c.params.LatEpisodeEvery)))
+			} else {
+				c.latActive = true
+				// Log-uniform inflation: many ~100 ms events, rare
+				// second-scale ones.
+				lo := float64(c.params.LatInflateMin)
+				hi := float64(c.params.LatInflateMax)
+				if lo <= 0 {
+					lo = float64(Millisecond)
+				}
+				u := c.rng.Float64()
+				c.latInflate = Time(lo * math.Pow(hi/lo, u))
+				c.nextLat = next + Time(c.rng.Exp(float64(c.params.LatEpisodeMean)))
+			}
+		}
+	}
+	c.now = t
+}
+
+// Transit passes one packet through the component at time t. pktKey is a
+// stable per-packet identifier and travIdx distinguishes multiple
+// traversals of the same component by one packet (an indirect route
+// crosses the intermediate's access complex twice). It returns whether
+// the packet was dropped and the extra delay (queueing + jitter +
+// inflation) it accrued.
+func (c *Component) Transit(t Time, pktKey uint64, travIdx uint64) (drop bool, delay Time) {
+	c.advance(t)
+	if c.down {
+		return true, 0
+	}
+	key := combine(c.seed, pktKey, travIdx)
+	delay = Time(hashExp(key^0x9E37, float64(c.params.JitterMean)))
+	if c.congested {
+		if hash01(key) < c.severity {
+			return true, 0
+		}
+		delay += Time(hashExp(key^0xC2B2, float64(c.params.QueueMean)))
+	}
+	if c.latActive {
+		delay += c.latInflate
+	}
+	return false, delay
+}
+
+// Probe reports the component's state at time t without consuming
+// per-packet randomness (used by tests and diagnostics).
+func (c *Component) Probe(t Time) (down, congested bool, severity float64) {
+	c.advance(t)
+	return c.down, c.congested, c.severity
+}
+
+// Class returns the component's class.
+func (c *Component) Class() ComponentClass { return c.class }
+
+// ID returns the component's identifier.
+func (c *Component) ID() ComponentID { return c.id }
+
+// Stats returns lifetime event counters: loss bursts entered, outages
+// entered, and congestion episodes entered.
+func (c *Component) Stats() (bursts, outages, episodes int64) {
+	return c.bursts, c.outages, c.episodes
+}
+
+// ForceDown injects a deterministic outage: the component goes down at
+// time from and recovers at from+duration, after which the stochastic
+// outage process resumes. It is a testing/fault-injection hook; the time
+// must not precede queries already served (components evolve forward
+// only).
+func (c *Component) ForceDown(from Time, duration Time) {
+	c.advance(from)
+	if !c.down {
+		c.down = true
+		c.outages++
+	}
+	c.nextOutage = from + duration
+}
+
+// ForceCongestion injects a deterministic loss burst with the given drop
+// severity from time from for the given duration. Like ForceDown it must
+// not precede already-served queries.
+func (c *Component) ForceCongestion(from Time, duration Time, severity float64) {
+	c.advance(from)
+	if !c.congested {
+		c.congested = true
+		c.bursts++
+	}
+	c.severity = severity
+	c.nextCong = from + duration
+}

@@ -1,0 +1,290 @@
+// Package netsim simulates the Internet substrate under the RON testbed:
+// a component-level loss/latency model in which every host's access
+// infrastructure is shared by all of its paths and every host pair has its
+// own backbone segment. It stands in for the live Internet of the paper's
+// measurement study (see DESIGN.md §2 for the substitution argument).
+//
+// The simulator is deterministic: the same seed, topology, profile, and
+// send schedule reproduce identical packet outcomes.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// Network is the simulated substrate for one testbed. It is not safe for
+// concurrent use; campaign drivers issue sends sequentially in virtual
+// time order.
+type Network struct {
+	tb      *topo.Testbed
+	prof    *Profile
+	seed    uint64
+	global  *globalModulator
+	access  []*Component   // one per host
+	bb      [][]*Component // upper-triangular: bb[i][j] for i<j
+	all     []*Component
+	nextPkt uint64
+	// inflate[i][j] is the static route-inflation factor of the direct
+	// i↔j path: BGP policy routing frequently takes detours, so the
+	// direct path's propagation delay exceeds the geographic floor and
+	// sometimes exceeds a two-hop overlay composition ("the route taken
+	// by packets is frequently sub-optimal", §2.2 [1, 30]). Without
+	// this, a coordinate-derived latency matrix would satisfy the
+	// triangle inequality and latency-optimized overlay routing could
+	// never win.
+	inflate [][]float64
+}
+
+// New builds a simulated network over the testbed with the given profile
+// and seed. A nil profile means DefaultProfile.
+func New(tb *topo.Testbed, prof *Profile, seed uint64) *Network {
+	if prof == nil {
+		prof = DefaultProfile()
+	}
+	n := tb.N()
+	nw := &Network{tb: tb, prof: prof, seed: seed}
+	nw.global = newGlobalModulator(combine(seed, 0x61, 0x0BA1), prof.Global)
+	nw.access = make([]*Component, n)
+	var id ComponentID
+	for i := 0; i < n; i++ {
+		params, ok := prof.AccessParams[tb.Host(i).Access]
+		if !ok {
+			panic(fmt.Sprintf("netsim: no params for access class %v",
+				tb.Host(i).Access))
+		}
+		c := newComponent(id, combine(seed, 0xACCE55, uint64(i)),
+			ClassAccess, prof, params, nw.global)
+		nw.access[i] = c
+		nw.all = append(nw.all, c)
+		id++
+	}
+	nw.bb = make([][]*Component, n)
+	nw.inflate = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		nw.bb[i] = make([]*Component, n)
+		nw.inflate[i] = make([]float64, n)
+	}
+	infRng := NewSource(combine(seed, 0x1F1A7E, 0))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			params := nw.backboneParams(i, j)
+			c := newComponent(id,
+				combine(seed, 0xBBBB, uint64(i)<<16|uint64(j)),
+				ClassBackbone, prof, params, nw.global)
+			nw.bb[i][j] = c
+			nw.bb[j][i] = c
+			nw.all = append(nw.all, c)
+			id++
+
+			f := drawInflation(infRng)
+			nw.inflate[i][j] = f
+			nw.inflate[j][i] = f
+		}
+	}
+	return nw
+}
+
+// drawInflation samples a route-inflation factor: most pairs take nearly
+// geographic routes, a quarter detour noticeably, and a few percent take
+// grossly circuitous routes (the pairs where overlay routing shines).
+func drawInflation(rng *Source) float64 {
+	switch u := rng.Float64(); {
+	case u < 0.70:
+		return rng.Uniform(1.00, 1.15)
+	case u < 0.95:
+		return rng.Uniform(1.15, 1.60)
+	default:
+		return rng.Uniform(1.60, 2.80)
+	}
+}
+
+// pairBase returns the direct-path propagation floor between i and j,
+// including route inflation.
+func (nw *Network) pairBase(i, j int) Time {
+	return Time(float64(nw.tb.BaseOneWay(i, j)) * nw.inflate[i][j])
+}
+
+// backboneParams picks the backbone parameter set for a host pair based on
+// how far the path reaches: domestic, trans-oceanic, or trans-Pacific
+// (Korea, the paper's lossiest site).
+func (nw *Network) backboneParams(i, j int) ComponentParams {
+	hi, hj := nw.tb.Host(i), nw.tb.Host(j)
+	far := func(h topo.Host) bool { return h.Name == "Korea" }
+	intl := func(h topo.Host) bool { return h.Kind == topo.KindIntl }
+	switch {
+	case far(hi) || far(hj):
+		return nw.prof.BackboneFar
+	case intl(hi) != intl(hj):
+		return nw.prof.BackboneIntl
+	case intl(hi) && intl(hj):
+		return nw.prof.BackboneBase
+	default:
+		return nw.prof.BackboneBase
+	}
+}
+
+// Testbed returns the topology the network was built over.
+func (nw *Network) Testbed() *topo.Testbed { return nw.tb }
+
+// Profile returns the substrate profile in use.
+func (nw *Network) Profile() *Profile { return nw.prof }
+
+// AccessComponent returns host i's access component (for tests and
+// fault-injection tooling).
+func (nw *Network) AccessComponent(i int) *Component { return nw.access[i] }
+
+// BackboneComponent returns the backbone component between hosts i and j.
+func (nw *Network) BackboneComponent(i, j int) *Component { return nw.bb[i][j] }
+
+// Route describes an overlay-level path: the direct Internet path from Src
+// to Dst, or the one-intermediate path via Via (the paper's overlay
+// routing uses at most one intermediate node).
+type Route struct {
+	Src, Dst int
+	// Via is the intermediate host index, or -1 for the direct path.
+	Via int
+}
+
+// Direct returns the direct route from src to dst.
+func Direct(src, dst int) Route { return Route{Src: src, Dst: dst, Via: -1} }
+
+// Indirect returns the one-hop route from src to dst via an intermediate.
+func Indirect(src, dst, via int) Route { return Route{Src: src, Dst: dst, Via: via} }
+
+// IsDirect reports whether the route uses the native Internet path.
+func (r Route) IsDirect() bool { return r.Via < 0 }
+
+// Valid reports whether the route's endpoints are distinct, in range, and
+// the intermediate (if any) differs from both.
+func (r Route) Valid(n int) bool {
+	if r.Src < 0 || r.Src >= n || r.Dst < 0 || r.Dst >= n || r.Src == r.Dst {
+		return false
+	}
+	if r.Via >= 0 && (r.Via >= n || r.Via == r.Src || r.Via == r.Dst) {
+		return false
+	}
+	return r.Via >= -1 && r.Via < n
+}
+
+// String renders "3→7" or "3→7 via 12".
+func (r Route) String() string {
+	if r.IsDirect() {
+		return fmt.Sprintf("%d→%d", r.Src, r.Dst)
+	}
+	return fmt.Sprintf("%d→%d via %d", r.Src, r.Dst, r.Via)
+}
+
+// Outcome reports what happened to one packet.
+type Outcome struct {
+	// Delivered is true if the packet reached the destination.
+	Delivered bool
+	// Latency is the one-way delay experienced (meaningful only when
+	// Delivered).
+	Latency Time
+	// DroppedAt identifies the component that dropped the packet, or
+	// NoComponent.
+	DroppedAt ComponentID
+	// DropClass is the class of the dropping component (meaningful only
+	// when !Delivered).
+	DropClass ComponentClass
+}
+
+// NextPacketKey allocates a fresh per-packet key. Packet keys seed the
+// hash-based per-packet randomness; campaign drivers may also supply their
+// own unique keys to SendKeyed.
+func (nw *Network) NextPacketKey() uint64 {
+	nw.nextPkt++
+	return combine(nw.seed, 0x9ACE7, nw.nextPkt)
+}
+
+// Send transmits one packet along the route at virtual time t using a
+// freshly allocated packet key.
+func (nw *Network) Send(t Time, r Route) Outcome {
+	return nw.SendKeyed(t, r, nw.NextPacketKey())
+}
+
+// SendKeyed transmits one packet along the route at time t with an
+// explicit packet key. Two copies of the same application packet must use
+// different keys (e.g. derived from copy index); the same key and time
+// always produce the same outcome.
+//
+// The packet crosses each component at the virtual time it actually
+// arrives there (send time plus accumulated latency), so a copy routed
+// indirectly observes the destination's access state tens of milliseconds
+// later than the direct copy — the "temporal shifting" the paper credits
+// with part of mesh routing's de-correlation (§4.3).
+//
+// Callers must issue sends in approximately nondecreasing time order:
+// components evolve forward only, and a query earlier than a component's
+// current time observes present state. Skews up to one path latency (the
+// deliberate 10–20 ms dd gaps, the longer flight time of an indirect
+// copy) are part of the model; schedules that jump seconds backward must
+// be sorted by the caller first.
+func (nw *Network) SendKeyed(t Time, r Route, pktKey uint64) Outcome {
+	if !r.Valid(nw.tb.N()) {
+		panic(fmt.Sprintf("netsim: invalid route %v for %d hosts", r, nw.tb.N()))
+	}
+	type traversal struct {
+		c    *Component
+		base Time // propagation delay accrued before this component
+	}
+	// Assemble the traversal sequence. Each underlay hop crosses the
+	// sender's access complex, the pair's backbone segment (which owns
+	// the hop's propagation delay), and the receiver's access complex.
+	// An indirect route therefore crosses the intermediate's access
+	// twice — inbound and outbound — separated by the overlay node's
+	// forwarding delay; that shared crossing is a deliberate part of
+	// the model (§2.4's shared edge infrastructure).
+	var travs [6]traversal
+	nt := 0
+	add := func(c *Component, base Time) {
+		travs[nt] = traversal{c, base}
+		nt++
+	}
+	bbOf := func(a, b int) *Component {
+		if a > b {
+			a, b = b, a
+		}
+		return nw.bb[a][b]
+	}
+	if r.IsDirect() {
+		add(nw.access[r.Src], 0)
+		add(bbOf(r.Src, r.Dst), nw.pairBase(r.Src, r.Dst))
+		add(nw.access[r.Dst], 0)
+	} else {
+		add(nw.access[r.Src], 0)
+		add(bbOf(r.Src, r.Via), nw.pairBase(r.Src, r.Via))
+		add(nw.access[r.Via], 0)
+		add(nw.access[r.Via], Time(nw.prof.ForwardingDelay))
+		add(bbOf(r.Via, r.Dst), nw.pairBase(r.Via, r.Dst))
+		add(nw.access[r.Dst], 0)
+	}
+
+	var lat Time
+	for i := 0; i < nt; i++ {
+		tr := travs[i]
+		lat += tr.base
+		drop, extra := tr.c.Transit(t+lat, pktKey, uint64(i))
+		if drop {
+			return Outcome{
+				Delivered: false,
+				DroppedAt: tr.c.id,
+				DropClass: tr.c.class,
+			}
+		}
+		lat += extra
+	}
+	return Outcome{Delivered: true, Latency: lat, DroppedAt: NoComponent}
+}
+
+// BaseLatency returns the uncongested one-way latency of a route
+// (propagation floors plus forwarding delay; no queueing or jitter).
+func (nw *Network) BaseLatency(r Route) Time {
+	if r.IsDirect() {
+		return nw.pairBase(r.Src, r.Dst)
+	}
+	return nw.pairBase(r.Src, r.Via) + nw.pairBase(r.Via, r.Dst) +
+		Time(nw.prof.ForwardingDelay)
+}

@@ -1,0 +1,133 @@
+package netsim
+
+import "math"
+
+// This file provides the deterministic random-number machinery used by the
+// simulator. Two kinds of randomness are needed:
+//
+//   - Sequential draws that evolve a component's state machine through
+//     time (burst start/stop, outage start/stop, episode arrivals). These
+//     come from a per-component Source seeded from the network seed and
+//     the component ID, so every component's trajectory is an independent,
+//     reproducible stream.
+//
+//   - Per-packet draws (drop decision inside a burst, queueing delay).
+//     These are computed by hashing (component seed, packet id, traversal
+//     index) so that the outcome of a packet does not depend on how many
+//     other packets happened to query the component first. This keeps
+//     results bit-reproducible even if callers interleave sends on
+//     different paths in different orders.
+
+// splitmix64 is the SplitMix64 mixing function; it is used both to derive
+// seeds and as the per-packet hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Source is a small, fast deterministic PRNG (xorshift128+ seeded via
+// SplitMix64). The zero value is not usable; construct with NewSource.
+type Source struct {
+	s0, s1 uint64
+}
+
+// NewSource returns a Source seeded deterministically from seed.
+func NewSource(seed uint64) *Source {
+	s := &Source{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the source to the stream identified by seed.
+func (s *Source) Seed(seed uint64) {
+	s.s0 = splitmix64(seed)
+	s.s1 = splitmix64(s.s0)
+	if s.s0 == 0 && s.s1 == 0 {
+		s.s1 = 1
+	}
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	x, y := s.s0, s.s1
+	s.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	s.s1 = x
+	return x + y
+}
+
+// Float64 returns a uniform value in [0,1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// A zero or negative mean returns 0.
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := s.Float64()
+	// Guard the log; Float64 can return exactly 0.
+	if u <= 0 {
+		u = 1.0 / (1 << 53)
+	}
+	return -mean * math.Log(u)
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("netsim: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// LogNormal returns a log-normally distributed value whose underlying
+// normal has the given mu and sigma (natural-log parameters).
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*s.Norm())
+}
+
+// Norm returns a standard normal deviate (Box–Muller; one value per call,
+// the second is discarded to keep the stream shape simple).
+func (s *Source) Norm() float64 {
+	u1 := s.Float64()
+	if u1 <= 0 {
+		u1 = 1.0 / (1 << 53)
+	}
+	u2 := s.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// hash01 maps an arbitrary 64-bit key to a uniform float in [0,1),
+// deterministically. Used for per-packet decisions.
+func hash01(key uint64) float64 {
+	return float64(splitmix64(key)>>11) / (1 << 53)
+}
+
+// hashExp maps a key to an exponential deviate with the given mean.
+func hashExp(key uint64, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := hash01(key)
+	if u <= 0 {
+		u = 1.0 / (1 << 53)
+	}
+	return -mean * math.Log(u)
+}
+
+// combine mixes several values into one hash key.
+func combine(a, b, c uint64) uint64 {
+	return splitmix64(a ^ splitmix64(b^splitmix64(c)))
+}

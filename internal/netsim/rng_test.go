@@ -1,0 +1,213 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceDeterminism(t *testing.T) {
+	a, b := NewSource(42), NewSource(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed sources diverged at draw %d", i)
+		}
+	}
+	c := NewSource(43)
+	same := 0
+	a.Seed(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/1000 identical draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSource(1)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := NewSource(99)
+	const mean = 250.0
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := s.Exp(mean)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Errorf("Exp sample mean = %.2f, want ≈%.2f", got, mean)
+	}
+	if s.Exp(0) != 0 || s.Exp(-5) != 0 {
+		t.Error("Exp with non-positive mean should return 0")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := NewSource(5)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Uniform(3, 7)
+		if v < 3 || v >= 7 {
+			t.Fatalf("Uniform(3,7) = %v", v)
+		}
+		sum += v
+	}
+	if m := sum / n; math.Abs(m-5) > 0.05 {
+		t.Errorf("Uniform(3,7) mean = %v, want ≈5", m)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := NewSource(8)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Intn(10)]++
+	}
+	for v, c := range counts {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("Intn bucket %d has %d draws, want ≈%d", v, c, n/10)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewSource(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	s := NewSource(77)
+	var sum, sumsq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean, variance := sum/n, sumsq/n
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Norm variance = %v, want ≈1", variance)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	s := NewSource(31)
+	const mu = 3.0
+	vals := make([]float64, 0, 50001)
+	for i := 0; i < 50001; i++ {
+		vals = append(vals, s.LogNormal(mu, 0.7))
+	}
+	// Median of lognormal is e^mu; check via counting.
+	var below int
+	med := math.Exp(mu)
+	for _, v := range vals {
+		if v < med {
+			below++
+		}
+	}
+	frac := float64(below) / float64(len(vals))
+	if frac < 0.48 || frac > 0.52 {
+		t.Errorf("fraction below e^mu = %v, want ≈0.5", frac)
+	}
+}
+
+func TestHash01Properties(t *testing.T) {
+	// Uniform-ish and deterministic.
+	if hash01(12345) != hash01(12345) {
+		t.Error("hash01 not deterministic")
+	}
+	var sum float64
+	const n = 100000
+	for i := uint64(0); i < n; i++ {
+		v := hash01(i)
+		if v < 0 || v >= 1 {
+			t.Fatalf("hash01 out of range: %v", v)
+		}
+		sum += v
+	}
+	if m := sum / n; math.Abs(m-0.5) > 0.01 {
+		t.Errorf("hash01 mean over consecutive keys = %v, want ≈0.5", m)
+	}
+}
+
+func TestHashExpDeterministicAndNonNegative(t *testing.T) {
+	f := func(key uint64) bool {
+		v := hashExp(key, 1000)
+		return v >= 0 && v == hashExp(key, 1000)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if hashExp(1, 0) != 0 {
+		t.Error("hashExp with zero mean should be 0")
+	}
+}
+
+func TestCombineMixes(t *testing.T) {
+	// combine must be sensitive to each argument.
+	base := combine(1, 2, 3)
+	if combine(2, 2, 3) == base || combine(1, 3, 3) == base || combine(1, 2, 4) == base {
+		t.Error("combine ignored one of its arguments")
+	}
+}
+
+func TestDiurnalFactor(t *testing.T) {
+	// Mean over a day ≈ 1 (calibration anchor), peak in the afternoon,
+	// trough overnight.
+	var sum float64
+	const steps = 24 * 60
+	for i := 0; i < steps; i++ {
+		sum += diurnalFactor(Time(i) * Minute)
+	}
+	if m := sum / steps; math.Abs(m-1) > 0.01 {
+		t.Errorf("diurnal mean = %v, want ≈1", m)
+	}
+	peak := diurnalFactor(15 * Hour)
+	trough := diurnalFactor(3 * Hour)
+	if peak < 1.5 || trough > 0.5 {
+		t.Errorf("diurnal peak=%v trough=%v, want ≈1.7 and ≈0.3", peak, trough)
+	}
+	// Second day repeats the first.
+	if diurnalFactor(5*Hour) != diurnalFactor(Day+5*Hour) {
+		t.Error("diurnal factor not periodic with the day")
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if (90 * Second).Seconds() != 90 {
+		t.Error("Seconds conversion wrong")
+	}
+	if FromDuration((3 * Second).Duration()) != 3*Second {
+		t.Error("Duration round trip wrong")
+	}
+	if (Day + 5*Hour).TimeOfDay() != 5*Hour {
+		t.Error("TimeOfDay wrong")
+	}
+	if (25 * Hour).String() == "" {
+		t.Error("Time.String empty")
+	}
+}

@@ -1,0 +1,245 @@
+package overlay
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/route"
+	"repro/internal/wire"
+)
+
+// Send transmits payload to dst under the given policy. For redundant
+// policies two copies are sent back-to-back, one per path, sharing a
+// stream sequence number so the receiver can suppress the duplicate.
+func (n *Node) Send(dst wire.NodeID, streamID uint32, payload []byte, policy Policy) error {
+	if dst == n.cfg.ID || int(dst) >= n.cfg.MeshSize {
+		return fmt.Errorf("overlay: bad destination %v", dst)
+	}
+	if policy >= numPolicies {
+		return fmt.Errorf("overlay: bad policy %d", uint8(policy))
+	}
+	tactics := policyTactics(policy)
+
+	n.mu.Lock()
+	n.seq++
+	seq := n.seq
+	hops := make([]wire.NodeID, len(tactics))
+	for i, tac := range tactics {
+		hops[i] = n.nextHopLocked(tac, dst)
+	}
+	n.stats.DataSent += int64(len(tactics))
+	n.mu.Unlock()
+
+	var firstErr error
+	for i, tac := range tactics {
+		d := wire.DataPacket{
+			Origin:    n.cfg.ID,
+			FinalDst:  dst,
+			Tactic:    tac.Wire(),
+			CopyIndex: uint8(i),
+			StreamID:  streamID,
+			Seq:       seq,
+			SentAt:    time.Now().UnixNano(),
+			Payload:   payload,
+		}
+		h := wire.Header{Type: wire.TypeData, Src: n.cfg.ID, Dst: dst}
+		if i == 1 {
+			h.Flags |= wire.FlagDuplicate
+		}
+		pkt, err := wire.Build(h, &d)
+		if err != nil {
+			return err
+		}
+		if err := n.tr.Send(hops[i], pkt); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// policyTactics expands a policy into per-copy tactics.
+func policyTactics(p Policy) []route.Tactic {
+	switch p {
+	case PolicyDirect:
+		return []route.Tactic{route.Direct}
+	case PolicyRand:
+		return []route.Tactic{route.Rand}
+	case PolicyLat:
+		return []route.Tactic{route.Lat}
+	case PolicyLoss:
+		return []route.Tactic{route.Loss}
+	case PolicyMesh:
+		return []route.Tactic{route.Direct, route.Rand}
+	case PolicyLatLoss:
+		return []route.Tactic{route.Lat, route.Loss}
+	default:
+		return []route.Tactic{route.Direct}
+	}
+}
+
+// nextHopLocked resolves a tactic to the next-hop node for dst. The
+// caller holds n.mu.
+func (n *Node) nextHopLocked(tac route.Tactic, dst wire.NodeID) wire.NodeID {
+	switch tac {
+	case route.Direct:
+		return dst
+	case route.Rand:
+		return n.randViaLocked(dst)
+	case route.Lat:
+		if c := n.sel.BestLat(int(n.cfg.ID), int(dst)); !c.IsDirect() {
+			return wire.NodeID(c.Via)
+		}
+		return dst
+	case route.Loss:
+		if c := n.sel.BestLoss(int(n.cfg.ID), int(dst)); !c.IsDirect() {
+			return wire.NodeID(c.Via)
+		}
+		return dst
+	default:
+		return dst
+	}
+}
+
+// randViaLocked draws a random intermediate distinct from self and dst.
+func (n *Node) randViaLocked(dst wire.NodeID) wire.NodeID {
+	for {
+		v := wire.NodeID(n.rng.Intn(n.cfg.MeshSize))
+		if v != n.cfg.ID && v != dst {
+			return v
+		}
+	}
+}
+
+// handle dispatches one received datagram. It is the transport handler;
+// the buffer is only valid during the call.
+func (n *Node) handle(pkt []byte) {
+	h, body, err := wire.Open(pkt)
+	if err != nil {
+		n.mu.Lock()
+		n.stats.BadPackets++
+		n.mu.Unlock()
+		return
+	}
+	if h.Dst != n.cfg.ID && h.Dst != wire.NoNode {
+		n.forward(h, pkt)
+		return
+	}
+	switch h.Type {
+	case wire.TypeProbeRequest:
+		n.handleProbeRequest(h, body)
+	case wire.TypeProbeResponse:
+		n.handleProbeResponse(h, body)
+	case wire.TypeData:
+		n.handleData(h, body)
+	case wire.TypeLinkState:
+		n.handleLinkState(h, body)
+	case wire.TypeHello:
+		// Liveness only; nothing to do in this implementation.
+	default:
+		n.mu.Lock()
+		n.stats.BadPackets++
+		n.mu.Unlock()
+	}
+}
+
+// forward relays a packet addressed to another node. The overlay uses at
+// most one intermediate hop (§1), so packets already marked forwarded are
+// dropped rather than relayed again.
+func (n *Node) forward(h wire.Header, pkt []byte) {
+	if h.Flags&wire.FlagForwarded != 0 {
+		n.mu.Lock()
+		n.stats.BadPackets++
+		n.mu.Unlock()
+		return
+	}
+	cp := make([]byte, len(pkt))
+	copy(cp, pkt)
+	// Set the forwarded flag and refresh length/checksum.
+	flags := h.Flags | wire.FlagForwarded
+	cp[4] = byte(flags >> 8)
+	cp[5] = byte(flags)
+	if _, err := wire.FinishPacket(cp); err != nil {
+		return
+	}
+	n.mu.Lock()
+	n.stats.DataForwarded++
+	n.mu.Unlock()
+	_ = n.tr.Send(h.Dst, cp)
+}
+
+// handleData delivers an application packet, suppressing duplicates of
+// 2-redundant transmissions.
+func (n *Node) handleData(h wire.Header, body []byte) {
+	var d wire.DataPacket
+	if err := d.DecodeFromBytes(body); err != nil {
+		n.mu.Lock()
+		n.stats.BadPackets++
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Lock()
+	n.stats.DataReceived++
+	dup := !n.dedup.firstSighting(dedupKey{origin: d.Origin, stream: d.StreamID, seq: d.Seq})
+	if dup {
+		n.stats.DupsSuppressed++
+	}
+	cb := n.cfg.OnReceive
+	n.mu.Unlock()
+
+	if cb == nil {
+		return
+	}
+	payload := make([]byte, len(d.Payload))
+	copy(payload, d.Payload)
+	cb(Receive{
+		Origin:    d.Origin,
+		StreamID:  d.StreamID,
+		Seq:       d.Seq,
+		Payload:   payload,
+		Duplicate: dup,
+		OneWay:    time.Duration(time.Now().UnixNano() - d.SentAt),
+		CopyIndex: d.CopyIndex,
+		Forwarded: h.Flags&wire.FlagForwarded != 0,
+	})
+}
+
+// dedupKey identifies one application packet across its copies.
+type dedupKey struct {
+	origin wire.NodeID
+	stream uint32
+	seq    uint32
+}
+
+// dedupCache is a fixed-capacity set with FIFO eviction, enough to
+// suppress the second copy of recent 2-redundant packets.
+type dedupCache struct {
+	seen  map[dedupKey]struct{}
+	order []dedupKey
+	next  int
+}
+
+func newDedupCache(capacity int) *dedupCache {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &dedupCache{
+		seen:  make(map[dedupKey]struct{}, capacity),
+		order: make([]dedupKey, capacity),
+	}
+}
+
+// firstSighting records the key and reports whether it was new.
+func (c *dedupCache) firstSighting(k dedupKey) bool {
+	if _, ok := c.seen[k]; ok {
+		return false
+	}
+	// Evict the slot we are about to reuse.
+	old := c.order[c.next]
+	if _, ok := c.seen[old]; ok && old != (dedupKey{}) {
+		delete(c.seen, old)
+	}
+	c.order[c.next] = k
+	c.next = (c.next + 1) % len(c.order)
+	c.seen[k] = struct{}{}
+	return true
+}

@@ -1,0 +1,283 @@
+// Package overlay implements a RON-style overlay node (§3.1): it probes
+// its peers, exchanges link-state summaries, selects loss- or
+// latency-optimized one-intermediate-hop paths, and forwards application
+// packets — including 2-redundant mesh transmission (§3.2) — over any
+// transport.Transport.
+//
+// The node runs over real UDP for distributed deployment (cmd/ronnode)
+// or over an in-process mesh for tests and examples.
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/route"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Policy selects how application packets are routed.
+type Policy uint8
+
+// Policies. The names mirror the paper's methods (Table 4/5).
+const (
+	// PolicyDirect sends one copy on the direct path.
+	PolicyDirect Policy = iota
+	// PolicyRand sends one copy via a random intermediate.
+	PolicyRand
+	// PolicyLat sends one copy on the latency-optimized path.
+	PolicyLat
+	// PolicyLoss sends one copy on the loss-optimized path.
+	PolicyLoss
+	// PolicyMesh is 2-redundant mesh routing: direct + random
+	// intermediate ("direct rand").
+	PolicyMesh
+	// PolicyLatLoss is probe-based 2-redundant routing: one copy on the
+	// latency-optimized path, one on the loss-optimized path.
+	PolicyLatLoss
+	numPolicies
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyDirect:
+		return "direct"
+	case PolicyRand:
+		return "rand"
+	case PolicyLat:
+		return "lat"
+	case PolicyLoss:
+		return "loss"
+	case PolicyMesh:
+		return "direct rand"
+	case PolicyLatLoss:
+		return "lat loss"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// Receive is delivered to the application for each arriving data packet.
+type Receive struct {
+	Origin    wire.NodeID
+	StreamID  uint32
+	Seq       uint32
+	Payload   []byte // copied; owned by the receiver
+	Duplicate bool   // a copy of this packet was already delivered
+	// OneWay is the sender-stamped transit time. Clocks are assumed
+	// roughly synchronized (the testbed used GPS clocks; in-process
+	// meshes share one clock).
+	OneWay time.Duration
+	// CopyIndex tells which copy of a redundant pair arrived.
+	CopyIndex uint8
+	// Forwarded reports whether the packet transited an intermediate.
+	Forwarded bool
+}
+
+// Config parameterizes a node.
+type Config struct {
+	// ID is this node's mesh identity.
+	ID wire.NodeID
+	// MeshSize is the number of nodes; IDs are 0..MeshSize-1.
+	MeshSize int
+	// Transport carries datagrams. The node takes ownership of its
+	// handler but not of closing it.
+	Transport transport.Transport
+	// ProbeInterval is the per-peer probe period (§3.1: 15 s; tests and
+	// examples use much shorter).
+	ProbeInterval time.Duration
+	// ProbeTimeout declares an unanswered probe lost.
+	ProbeTimeout time.Duration
+	// GossipInterval is the link-state broadcast period.
+	GossipInterval time.Duration
+	// OnReceive delivers application packets; may be nil.
+	OnReceive func(Receive)
+	// Seed randomizes intermediate choice and probe jitter.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 15 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		t := c.ProbeInterval / 5
+		if t > 3*time.Second {
+			t = 3 * time.Second
+		}
+		if t < 10*time.Millisecond {
+			t = 10 * time.Millisecond
+		}
+		c.ProbeTimeout = t
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = c.ProbeInterval
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Transport == nil {
+		return fmt.Errorf("overlay: nil transport")
+	}
+	if c.MeshSize < 2 || c.MeshSize > int(wire.NoNode) {
+		return fmt.Errorf("overlay: mesh size %d out of range", c.MeshSize)
+	}
+	if int(c.ID) >= c.MeshSize {
+		return fmt.Errorf("overlay: id %v outside mesh of %d", c.ID, c.MeshSize)
+	}
+	return nil
+}
+
+// Stats are cumulative node counters.
+type Stats struct {
+	ProbesSent      int64
+	ProbeReplies    int64
+	ProbesLost      int64
+	FollowUpsSent   int64
+	GossipsSent     int64
+	GossipsReceived int64
+	DataSent        int64
+	DataReceived    int64
+	DataForwarded   int64
+	DupsSuppressed  int64
+	BadPackets      int64
+}
+
+// pendingProbe tracks an in-flight probe awaiting its response.
+type pendingProbe struct {
+	peer     wire.NodeID
+	sentAt   time.Time
+	timer    *time.Timer
+	followUp uint8 // 0 = regular probe; 1..4 = §3.1 follow-up string
+}
+
+// Node is one overlay participant. Create with New, then Start.
+type Node struct {
+	cfg Config
+	tr  transport.Transport
+
+	mu      sync.Mutex
+	sel     *route.Selector
+	pending map[uint64]*pendingProbe
+	dedup   *dedupCache
+	rng     *rand.Rand
+	stats   Stats
+	seq     uint32
+	gossip  uint32
+	started bool
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New creates a node. The transport's handler is installed immediately so
+// a node can respond to probes even before Start.
+func New(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:     cfg,
+		tr:      cfg.Transport,
+		sel:     route.NewSelector(cfg.MeshSize),
+		pending: make(map[uint64]*pendingProbe),
+		dedup:   newDedupCache(4096),
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID)<<17 ^ 0x5eed)),
+		stop:    make(chan struct{}),
+	}
+	n.tr.SetHandler(n.handle)
+	return n, nil
+}
+
+// ID returns the node's mesh identity.
+func (n *Node) ID() wire.NodeID { return n.cfg.ID }
+
+// Start launches the prober and gossiper.
+func (n *Node) Start() {
+	n.mu.Lock()
+	if n.started || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	n.mu.Unlock()
+	n.wg.Add(2)
+	go n.probeLoop()
+	go n.gossipLoop()
+}
+
+// Close stops background work. It does not close the transport.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	for id, p := range n.pending {
+		p.timer.Stop()
+		delete(n.pending, id)
+	}
+	n.mu.Unlock()
+	close(n.stop)
+	n.wg.Wait()
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// peers lists all other node IDs.
+func (n *Node) peers() []wire.NodeID {
+	out := make([]wire.NodeID, 0, n.cfg.MeshSize-1)
+	for i := 0; i < n.cfg.MeshSize; i++ {
+		if wire.NodeID(i) != n.cfg.ID {
+			out = append(out, wire.NodeID(i))
+		}
+	}
+	return out
+}
+
+// TableEntry is one row of the node's current routing view.
+type TableEntry struct {
+	Dst     wire.NodeID
+	Loss    route.Choice
+	Latency route.Choice
+}
+
+// RoutingTable snapshots the node's current path selections to every
+// destination.
+func (n *Node) RoutingTable() []TableEntry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []TableEntry
+	for _, p := range n.peers() {
+		out = append(out, TableEntry{
+			Dst:     p,
+			Loss:    n.sel.BestLoss(int(n.cfg.ID), int(p)),
+			Latency: n.sel.BestLat(int(n.cfg.ID), int(p)),
+		})
+	}
+	return out
+}
+
+// LinkEstimate exposes the node's current view of its own link to peer
+// (loss rate, smoothed latency validity), for diagnostics.
+func (n *Node) LinkEstimate(peer wire.NodeID) (loss float64, lat time.Duration, dead bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	le := n.sel.Link(int(n.cfg.ID), int(peer))
+	return le.LossRate(), le.LatencyEstimate(0), le.Dead()
+}

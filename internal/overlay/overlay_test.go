@@ -1,0 +1,426 @@
+package overlay
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// newTestMesh builds a k-node overlay over an in-process mesh with fast
+// probing, returning the nodes and a cleanup function.
+func newTestMesh(t *testing.T, k int, impair transport.Impairment,
+	onReceive func(id wire.NodeID, r Receive)) ([]*Node, func()) {
+	t.Helper()
+	m := transport.NewMesh(impair)
+	nodes := make([]*Node, k)
+	for i := 0; i < k; i++ {
+		id := wire.NodeID(i)
+		cfg := Config{
+			ID:             id,
+			MeshSize:       k,
+			Transport:      m.Endpoint(id),
+			ProbeInterval:  60 * time.Millisecond,
+			ProbeTimeout:   25 * time.Millisecond,
+			GossipInterval: 40 * time.Millisecond,
+			Seed:           int64(1000 + i),
+		}
+		if onReceive != nil {
+			cfg.OnReceive = func(r Receive) { onReceive(id, r) }
+		}
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		nodes[i] = n
+	}
+	cleanup := func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+		m.Close()
+	}
+	return nodes, cleanup
+}
+
+func startAll(nodes []*Node) {
+	for _, n := range nodes {
+		n.Start()
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := transport.NewMesh(nil)
+	defer m.Close()
+	ep := m.Endpoint(0)
+	cases := []Config{
+		{ID: 0, MeshSize: 2, Transport: nil},
+		{ID: 0, MeshSize: 1, Transport: ep},
+		{ID: 5, MeshSize: 3, Transport: ep},
+	}
+	for i, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	want := map[Policy]string{
+		PolicyDirect:  "direct",
+		PolicyRand:    "rand",
+		PolicyLat:     "lat",
+		PolicyLoss:    "loss",
+		PolicyMesh:    "direct rand",
+		PolicyLatLoss: "lat loss",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if Policy(99).String() == "" {
+		t.Error("unknown policy must stringify")
+	}
+}
+
+func TestProbingBuildsEstimates(t *testing.T) {
+	nodes, cleanup := newTestMesh(t, 3, nil, nil)
+	defer cleanup()
+	startAll(nodes)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s := nodes[0].Stats()
+		if s.ProbeReplies >= 6 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	s := nodes[0].Stats()
+	if s.ProbeReplies < 6 {
+		t.Fatalf("node 0 got %d probe replies, want >= 6", s.ProbeReplies)
+	}
+	loss, lat, dead := nodes[0].LinkEstimate(1)
+	if dead {
+		t.Error("healthy link marked dead")
+	}
+	if loss != 0 {
+		t.Errorf("loss = %v on a clean mesh", loss)
+	}
+	if lat <= 0 || lat > time.Second {
+		t.Errorf("latency estimate = %v, want small positive", lat)
+	}
+}
+
+func TestGossipPropagatesLinkState(t *testing.T) {
+	nodes, cleanup := newTestMesh(t, 3, nil, nil)
+	defer cleanup()
+	startAll(nodes)
+
+	// Wait until node 0 has received gossip and can see the 1→2 link.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s := nodes[0].Stats()
+		if s.GossipsReceived >= 4 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if s := nodes[0].Stats(); s.GossipsReceived == 0 {
+		t.Fatal("node 0 received no gossip")
+	}
+	// The routing table should now produce sensible entries for every
+	// destination.
+	table := nodes[0].RoutingTable()
+	if len(table) != 2 {
+		t.Fatalf("table has %d entries, want 2", len(table))
+	}
+	for _, e := range table {
+		if e.Loss.Loss < 0 || e.Loss.Loss > 1 {
+			t.Errorf("table loss out of range: %+v", e)
+		}
+	}
+}
+
+func TestSendDirectDelivery(t *testing.T) {
+	var mu sync.Mutex
+	got := map[wire.NodeID][]Receive{}
+	nodes, cleanup := newTestMesh(t, 4, nil, func(id wire.NodeID, r Receive) {
+		mu.Lock()
+		got[id] = append(got[id], r)
+		mu.Unlock()
+	})
+	defer cleanup()
+	startAll(nodes)
+
+	if err := nodes[0].Send(2, 7, []byte("payload-a"), PolicyDirect); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got[2])
+		mu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got[2]) != 1 {
+		t.Fatalf("node 2 received %d packets, want 1", len(got[2]))
+	}
+	r := got[2][0]
+	if r.Origin != 0 || r.StreamID != 7 || string(r.Payload) != "payload-a" {
+		t.Errorf("receive = %+v", r)
+	}
+	if r.Duplicate || r.Forwarded {
+		t.Errorf("direct single copy flagged dup/forwarded: %+v", r)
+	}
+}
+
+func TestMeshPolicyDeliversBothCopies(t *testing.T) {
+	var mu sync.Mutex
+	var recvs []Receive
+	nodes, cleanup := newTestMesh(t, 5, nil, func(id wire.NodeID, r Receive) {
+		if id == 3 {
+			mu.Lock()
+			recvs = append(recvs, r)
+			mu.Unlock()
+		}
+	})
+	defer cleanup()
+	startAll(nodes)
+
+	if err := nodes[0].Send(3, 9, []byte("two-copies"), PolicyMesh); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(recvs)
+		mu.Unlock()
+		if n >= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(recvs) != 2 {
+		t.Fatalf("received %d copies, want 2 (no loss on clean mesh)", len(recvs))
+	}
+	var dups, fwd int
+	for _, r := range recvs {
+		if r.Duplicate {
+			dups++
+		}
+		if r.Forwarded {
+			fwd++
+		}
+	}
+	if dups != 1 {
+		t.Errorf("exactly one copy should be flagged duplicate, got %d", dups)
+	}
+	if fwd != 1 {
+		t.Errorf("exactly one copy should be forwarded (via intermediate), got %d", fwd)
+	}
+	st := nodes[0].Stats()
+	if st.DataSent != 2 {
+		t.Errorf("DataSent = %d, want 2", st.DataSent)
+	}
+}
+
+func TestForwardingIsSingleHop(t *testing.T) {
+	// A packet that has already been forwarded must not be relayed
+	// again, even if misaddressed.
+	nodes, cleanup := newTestMesh(t, 3, nil, nil)
+	defer cleanup()
+	// Craft a forwarded packet addressed to node 2 and hand it to node
+	// 1's handler as if from the wire.
+	d := wire.DataPacket{Origin: 0, FinalDst: 2, StreamID: 1, Seq: 1}
+	pkt, err := wire.Build(wire.Header{
+		Type: wire.TypeData, Src: 0, Dst: 2, Flags: wire.FlagForwarded,
+	}, &d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes[1].handle(pkt)
+	if s := nodes[1].Stats(); s.DataForwarded != 0 {
+		t.Error("node relayed an already-forwarded packet")
+	}
+	// An unforwarded transit packet is relayed exactly once.
+	pkt2, _ := wire.Build(wire.Header{Type: wire.TypeData, Src: 0, Dst: 2}, &d)
+	nodes[1].handle(pkt2)
+	if s := nodes[1].Stats(); s.DataForwarded != 1 {
+		t.Errorf("DataForwarded = %d, want 1", s.DataForwarded)
+	}
+}
+
+func TestLossyLinkDetection(t *testing.T) {
+	// Kill all traffic on the 0↔1 pair; node 0 must mark the link dead
+	// and the lat route to 1 must avoid the direct path.
+	impair := func(from, to wire.NodeID, size int) (bool, time.Duration) {
+		if (from == 0 && to == 1) || (from == 1 && to == 0) {
+			return true, 0
+		}
+		return false, 0
+	}
+	nodes, cleanup := newTestMesh(t, 4, impair, nil)
+	defer cleanup()
+	startAll(nodes)
+
+	deadline := time.Now().Add(8 * time.Second)
+	for time.Now().Before(deadline) {
+		_, _, dead := nodes[0].LinkEstimate(1)
+		if dead {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, _, dead := nodes[0].LinkEstimate(1); !dead {
+		t.Fatal("node 0 never declared the blackholed link dead")
+	}
+	// Routing: lat to node 1 should go indirect.
+	deadline = time.Now().Add(8 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, e := range nodes[0].RoutingTable() {
+			if e.Dst == 1 && !e.Latency.IsDirect() {
+				return // success
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Error("lat route to blackholed peer never went indirect")
+}
+
+func TestSendValidation(t *testing.T) {
+	nodes, cleanup := newTestMesh(t, 3, nil, nil)
+	defer cleanup()
+	if err := nodes[0].Send(0, 1, []byte("x"), PolicyDirect); err == nil {
+		t.Error("send to self accepted")
+	}
+	if err := nodes[0].Send(9, 1, []byte("x"), PolicyDirect); err == nil {
+		t.Error("send to out-of-mesh node accepted")
+	}
+	if err := nodes[0].Send(1, 1, []byte("x"), Policy(99)); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestCloseIdempotentAndStopsProbes(t *testing.T) {
+	nodes, cleanup := newTestMesh(t, 2, nil, nil)
+	defer cleanup()
+	startAll(nodes)
+	time.Sleep(100 * time.Millisecond)
+	nodes[0].Close()
+	nodes[0].Close() // must not panic
+	before := nodes[0].Stats().ProbesSent
+	time.Sleep(150 * time.Millisecond)
+	after := nodes[0].Stats().ProbesSent
+	if after != before {
+		t.Errorf("probes still flowing after Close: %d → %d", before, after)
+	}
+}
+
+func TestDedupCache(t *testing.T) {
+	c := newDedupCache(16)
+	k1 := dedupKey{origin: 1, stream: 2, seq: 3}
+	if !c.firstSighting(k1) {
+		t.Error("fresh key reported as seen")
+	}
+	if c.firstSighting(k1) {
+		t.Error("repeat key reported as new")
+	}
+	// Eviction: after capacity more keys, k1 is forgotten.
+	for i := 0; i < 16; i++ {
+		c.firstSighting(dedupKey{origin: 9, stream: 9, seq: uint32(i)})
+	}
+	if !c.firstSighting(k1) {
+		t.Error("evicted key still remembered")
+	}
+	// Tiny capacities are clamped.
+	c2 := newDedupCache(1)
+	if !c2.firstSighting(k1) || c2.firstSighting(k1) {
+		t.Error("clamped cache misbehaves")
+	}
+}
+
+func TestBadPacketsCounted(t *testing.T) {
+	nodes, cleanup := newTestMesh(t, 2, nil, nil)
+	defer cleanup()
+	nodes[0].handle([]byte{1, 2, 3})
+	nodes[0].handle(nil)
+	if s := nodes[0].Stats(); s.BadPackets < 2 {
+		t.Errorf("BadPackets = %d, want >= 2", s.BadPackets)
+	}
+}
+
+func TestFollowUpProbesAfterLoss(t *testing.T) {
+	// Blackhole 0→1 only (responses 1→0 would flow, but requests never
+	// arrive): node 0's probes to 1 all time out, and each loss must
+	// trigger the §3.1 follow-up string.
+	impair := func(from, to wire.NodeID, size int) (bool, time.Duration) {
+		return from == 0 && to == 1, 0
+	}
+	nodes, cleanup := newTestMesh(t, 3, impair, nil)
+	defer cleanup()
+	startAll(nodes)
+
+	deadline := time.Now().Add(8 * time.Second)
+	for time.Now().Before(deadline) {
+		s := nodes[0].Stats()
+		if s.FollowUpsSent >= 4 && s.ProbesLost >= 5 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	s := nodes[0].Stats()
+	if s.FollowUpsSent < 4 {
+		t.Errorf("follow-up probes = %d, want >= 4 (§3.1 string)", s.FollowUpsSent)
+	}
+	if s.ProbesLost == 0 {
+		t.Error("no probe losses recorded on a blackholed link")
+	}
+	// The healthy 0→2 link must be unaffected.
+	if loss, _, dead := nodes[0].LinkEstimate(2); dead || loss > 0.2 {
+		t.Errorf("healthy link contaminated: loss=%v dead=%v", loss, dead)
+	}
+}
+
+func TestGossipPropagatesDeadLink(t *testing.T) {
+	// Blackhole the 1↔2 pair. Node 0 never probes that link itself; it
+	// must learn that 1→2 is dead purely from node 1's gossip, and its
+	// lat route 0→2 must then avoid 1 as an intermediate.
+	impair := func(from, to wire.NodeID, size int) (bool, time.Duration) {
+		if (from == 1 && to == 2) || (from == 2 && to == 1) {
+			return true, 0
+		}
+		return false, 0
+	}
+	nodes, cleanup := newTestMesh(t, 4, impair, nil)
+	defer cleanup()
+	startAll(nodes)
+
+	deadline := time.Now().Add(8 * time.Second)
+	learned := false
+	for time.Now().Before(deadline) && !learned {
+		nodes[0].mu.Lock()
+		le := nodes[0].sel.Link(1, 2)
+		learned = le.Dead()
+		nodes[0].mu.Unlock()
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !learned {
+		t.Fatal("node 0 never learned of the dead 1→2 link via gossip")
+	}
+	for _, e := range nodes[0].RoutingTable() {
+		if e.Dst == 2 && e.Latency.Via == 1 {
+			t.Error("lat route to 2 still transits the dead link via 1")
+		}
+	}
+}

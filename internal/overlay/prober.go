@@ -1,0 +1,243 @@
+package overlay
+
+import (
+	"time"
+
+	"repro/internal/wire"
+)
+
+// probeLoop sends one probe to each peer every ProbeInterval, staggering
+// peers across the interval as the RON prober does.
+func (n *Node) probeLoop() {
+	defer n.wg.Done()
+	peers := n.peers()
+	if len(peers) == 0 {
+		return
+	}
+	slot := n.cfg.ProbeInterval / time.Duration(len(peers))
+	if slot <= 0 {
+		slot = time.Millisecond
+	}
+	idx := 0
+	ticker := time.NewTicker(slot)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			n.sendProbe(peers[idx], 0)
+			idx = (idx + 1) % len(peers)
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// sendProbe emits one probe to peer. followUp is 0 for a regular probe or
+// the 1-based index in the §3.1 loss-triggered string of up to four
+// probes spaced one second apart.
+func (n *Node) sendProbe(peer wire.NodeID, followUp uint8) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	id := n.rng.Uint64() // random 64-bit identifier, §4.1
+	n.seq++
+	seq := n.seq
+	p := &pendingProbe{peer: peer, sentAt: time.Now(), followUp: followUp}
+	// Arm the loss timer before the packet leaves so the response
+	// handler always observes a fully formed pendingProbe.
+	p.timer = time.AfterFunc(n.cfg.ProbeTimeout, func() { n.probeTimeout(id) })
+	n.pending[id] = p
+	n.stats.ProbesSent++
+	if followUp > 0 {
+		n.stats.FollowUpsSent++
+	}
+	n.mu.Unlock()
+
+	req := wire.ProbeRequest{
+		ID:     id,
+		SentAt: p.sentAt.UnixNano(),
+		Seq:    seq,
+		Tactic: wire.TacticDirect,
+		Copies: 1,
+		Via:    wire.NoNode,
+	}
+	h := wire.Header{Type: wire.TypeProbeRequest, Src: n.cfg.ID, Dst: peer}
+	if followUp > 0 {
+		h.Flags |= wire.FlagLossTriggered
+	}
+	pkt, err := wire.Build(h, &req)
+	if err != nil {
+		return
+	}
+	_ = n.tr.Send(peer, pkt)
+}
+
+// probeTimeout declares a probe lost and, per §3.1, launches the next of
+// up to four 1 s-spaced follow-up probes to decide whether the peer is
+// down.
+func (n *Node) probeTimeout(id uint64) {
+	n.mu.Lock()
+	p, ok := n.pending[id]
+	if !ok || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.pending, id)
+	n.stats.ProbesLost++
+	n.sel.Record(int(n.cfg.ID), int(p.peer), true, 0)
+	n.mu.Unlock()
+
+	if p.followUp < 4 {
+		next := p.followUp + 1
+		gap := time.Second
+		if n.cfg.ProbeInterval < 5*time.Second {
+			// Scaled-down meshes (tests, examples) shrink the
+			// follow-up spacing proportionally.
+			gap = n.cfg.ProbeInterval / 15
+			if gap <= 0 {
+				gap = time.Millisecond
+			}
+		}
+		timer := time.AfterFunc(gap, func() { n.sendProbe(p.peer, next) })
+		_ = timer
+	}
+}
+
+// handleProbeRequest echoes a probe back to its origin with receiver
+// timestamps (§4.1 logs both sides; our responder folds them into the
+// reply instead of shipping logs).
+func (n *Node) handleProbeRequest(h wire.Header, body []byte) {
+	var req wire.ProbeRequest
+	if err := req.DecodeFromBytes(body); err != nil {
+		n.mu.Lock()
+		n.stats.BadPackets++
+		n.mu.Unlock()
+		return
+	}
+	now := time.Now().UnixNano()
+	resp := wire.ProbeResponse{
+		ID:         req.ID,
+		EchoSentAt: req.SentAt,
+		RecvAt:     now,
+		RespSentAt: now,
+		Tactic:     req.Tactic,
+		CopyIndex:  req.CopyIndex,
+	}
+	pkt, err := wire.Build(wire.Header{
+		Type: wire.TypeProbeResponse, Src: n.cfg.ID, Dst: h.Src,
+	}, &resp)
+	if err != nil {
+		return
+	}
+	_ = n.tr.Send(h.Src, pkt)
+}
+
+// handleProbeResponse resolves a pending probe: the link delivered, and
+// its one-way latency is estimated as half the measured round trip
+// (without GPS-synchronized clocks, RTT/2 is the §4.1-style average of
+// the two directions).
+func (n *Node) handleProbeResponse(h wire.Header, body []byte) {
+	var resp wire.ProbeResponse
+	if err := resp.DecodeFromBytes(body); err != nil {
+		n.mu.Lock()
+		n.stats.BadPackets++
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.pending[resp.ID]
+	if !ok {
+		return // late response; already declared lost
+	}
+	delete(n.pending, resp.ID)
+	p.timer.Stop()
+	n.stats.ProbeReplies++
+	rtt := time.Since(p.sentAt)
+	n.sel.Record(int(n.cfg.ID), int(p.peer), false, rtt/2)
+}
+
+// gossipLoop broadcasts this node's link-state summary every
+// GossipInterval so peers can compose two-hop routes.
+func (n *Node) gossipLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.GossipInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			n.sendGossip()
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// sendGossip builds and broadcasts the LinkState message.
+func (n *Node) sendGossip() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.gossip++
+	ls := wire.LinkState{
+		GeneratedAt: time.Now().UnixNano(),
+		Seq:         n.gossip,
+	}
+	for _, peer := range n.peers() {
+		le := n.sel.Link(int(n.cfg.ID), int(peer))
+		lossQ := wire.QuantizeLoss(le.LossRate())
+		if le.Dead() {
+			lossQ = 65535
+		}
+		latMicros := uint32(le.LatencyEstimate(0) / time.Microsecond)
+		ls.Entries = append(ls.Entries, wire.LinkStateEntry{
+			Peer:          peer,
+			LossQ16:       lossQ,
+			LatencyMicros: latMicros,
+		})
+	}
+	n.stats.GossipsSent++
+	peers := n.peers()
+	n.mu.Unlock()
+
+	for _, peer := range peers {
+		pkt, err := wire.Build(wire.Header{
+			Type: wire.TypeLinkState, Src: n.cfg.ID, Dst: peer,
+		}, &ls)
+		if err != nil {
+			return
+		}
+		_ = n.tr.Send(peer, pkt)
+	}
+}
+
+// handleLinkState folds a peer's gossiped link summaries into the
+// selector as that peer's outgoing-link row.
+func (n *Node) handleLinkState(h wire.Header, body []byte) {
+	var ls wire.LinkState
+	if err := ls.DecodeFromBytes(body); err != nil {
+		n.mu.Lock()
+		n.stats.BadPackets++
+		n.mu.Unlock()
+		return
+	}
+	if int(h.Src) >= n.cfg.MeshSize || h.Src == n.cfg.ID {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.GossipsReceived++
+	for _, e := range ls.Entries {
+		if int(e.Peer) >= n.cfg.MeshSize || e.Peer == h.Src {
+			continue
+		}
+		dead := e.LossQ16 == 65535
+		loss := e.LossFraction()
+		lat := time.Duration(e.LatencyMicros) * time.Microsecond
+		n.sel.Link(int(h.Src), int(e.Peer)).SetSummary(loss, lat, dead)
+	}
+}

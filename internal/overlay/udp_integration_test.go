@@ -1,0 +1,132 @@
+package overlay
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestOverlayOverRealUDP brings up a four-node mesh on loopback UDP
+// sockets and exercises the full distributed stack: probing, gossip,
+// one-hop forwarding, redundant transmission, and duplicate suppression —
+// the cmd/ronnode deployment in miniature.
+func TestOverlayOverRealUDP(t *testing.T) {
+	const k = 4
+	uds := make([]*transport.UDP, k)
+	for i := 0; i < k; i++ {
+		u, err := transport.NewUDP(wire.NodeID(i), "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatalf("udp %d: %v", i, err)
+		}
+		uds[i] = u
+		defer u.Close()
+	}
+	// Late-bind the roster now that every socket has a port.
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			uds[i].SetRoster(wire.NodeID(j), uds[j].LocalAddr())
+		}
+	}
+
+	var mu sync.Mutex
+	type rcv struct {
+		Receive
+		at time.Time
+	}
+	got := map[wire.NodeID][]rcv{}
+	nodes := make([]*Node, k)
+	for i := 0; i < k; i++ {
+		id := wire.NodeID(i)
+		n, err := New(Config{
+			ID:             id,
+			MeshSize:       k,
+			Transport:      uds[i],
+			ProbeInterval:  80 * time.Millisecond,
+			ProbeTimeout:   40 * time.Millisecond,
+			GossipInterval: 60 * time.Millisecond,
+			Seed:           int64(7000 + i),
+			OnReceive: func(r Receive) {
+				mu.Lock()
+				got[id] = append(got[id], rcv{r, time.Now()})
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		nodes[i] = n
+		defer n.Close()
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+
+	// Wait for probing to populate estimates.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if nodes[0].Stats().ProbeReplies >= 9 && nodes[0].Stats().GossipsReceived >= 3 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if s := nodes[0].Stats(); s.ProbeReplies < 9 {
+		t.Fatalf("UDP probing did not converge: %+v", s)
+	}
+
+	// Send redundant pairs 0→2; both copies must arrive, one flagged
+	// duplicate, one forwarded.
+	const sends = 20
+	for i := 0; i < sends; i++ {
+		if err := nodes[0].Send(2, 55, []byte("udp-mesh"), PolicyMesh); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(got[2])
+		mu.Unlock()
+		if n >= 2*sends {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	recvs := got[2]
+	if len(recvs) < 2*sends*9/10 {
+		t.Fatalf("received %d of %d expected copies over loopback", len(recvs), 2*sends)
+	}
+	var dups, fwds int
+	for _, r := range recvs {
+		if r.Origin != 0 || r.StreamID != 55 || string(r.Payload) != "udp-mesh" {
+			t.Fatalf("bad receive: %+v", r.Receive)
+		}
+		if r.Duplicate {
+			dups++
+		}
+		if r.Forwarded {
+			fwds++
+		}
+	}
+	if dups < sends*8/10 {
+		t.Errorf("duplicate suppression marked %d of ~%d", dups, sends)
+	}
+	if fwds < sends*8/10 {
+		t.Errorf("forwarded copies %d of ~%d (random intermediates)", fwds, sends)
+	}
+
+	// Every node's forwarding counters should show relay work happened
+	// somewhere in the mesh.
+	var totalFwd int64
+	for _, n := range nodes {
+		totalFwd += n.Stats().DataForwarded
+	}
+	if totalFwd < int64(sends)*8/10 {
+		t.Errorf("mesh forwarded %d packets, want ≈%d", totalFwd, sends)
+	}
+}

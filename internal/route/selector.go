@@ -1,0 +1,278 @@
+package route
+
+import (
+	"fmt"
+	"time"
+)
+
+// Choice is a selected overlay path: the direct Internet path (Via < 0)
+// or a one-intermediate-hop path via node Via. It mirrors the paper's
+// overlay routing, which "uses at most one intermediate node ... to
+// forward packets" (§1).
+type Choice struct {
+	Via int
+	// Loss is the estimated end-to-end loss probability of the path.
+	Loss float64
+	// Latency is the estimated end-to-end one-way latency.
+	Latency time.Duration
+}
+
+// IsDirect reports whether the choice is the native path.
+func (c Choice) IsDirect() bool { return c.Via < 0 }
+
+// String renders "direct" or "via 7".
+func (c Choice) String() string {
+	if c.IsDirect() {
+		return "direct"
+	}
+	return fmt.Sprintf("via %d", c.Via)
+}
+
+// Selector maintains per-link estimates for an N-node mesh and picks
+// loss- or latency-optimized one-intermediate paths, RON-style (§3.1).
+// It is deliberately transport-agnostic: both the simulation campaign and
+// the real overlay node feed it probe outcomes.
+//
+// Selector is not safe for concurrent use.
+type Selector struct {
+	n   int
+	est [][]*LinkEstimate // est[src][dst], nil on the diagonal
+	// fallbackLat is the latency charged to links with no samples yet,
+	// so that unmeasured paths are not spuriously attractive.
+	fallbackLat time.Duration
+	// hysteresis, when > 0, damps route flapping: a challenger path
+	// must beat the incumbent's metric by this relative margin before
+	// the selection moves (RON used a similar mechanism to keep routes
+	// stable under measurement noise). State is kept per ordered pair.
+	hysteresis float64
+	prevLoss   [][]int // last chosen via per pair, -1 = direct
+	prevLat    [][]int
+}
+
+// NewSelector creates a selector for an n-node mesh.
+func NewSelector(n int) *Selector {
+	if n < 2 {
+		panic("route: selector needs at least 2 nodes")
+	}
+	s := &Selector{n: n, fallbackLat: 500 * time.Millisecond}
+	s.est = make([][]*LinkEstimate, n)
+	for i := range s.est {
+		s.est[i] = make([]*LinkEstimate, n)
+		for j := range s.est[i] {
+			if i != j {
+				s.est[i][j] = NewLinkEstimate()
+			}
+		}
+	}
+	return s
+}
+
+// N returns the mesh size.
+func (s *Selector) N() int { return s.n }
+
+// Link returns the estimate for the directed link src→dst.
+func (s *Selector) Link(src, dst int) *LinkEstimate {
+	return s.est[src][dst]
+}
+
+// Record folds one probe outcome for the directed link src→dst.
+func (s *Selector) Record(src, dst int, lost bool, lat time.Duration) {
+	s.est[src][dst].Record(lost, lat)
+}
+
+// pathLoss composes two link loss rates into a path loss rate assuming
+// link independence: 1-(1-a)(1-b). (The whole point of the paper is that
+// this assumption is optimistic on the real Internet; the selector still
+// uses it, as RON did.)
+func pathLoss(a, b float64) float64 {
+	return 1 - (1-a)*(1-b)
+}
+
+// BestLoss returns the loss-optimized path from src to dst: the direct
+// path or the best single-intermediate path, whichever has the lowest
+// estimated loss rate. When the direct path ties the minimum (within
+// eps), it wins — RON prefers the native path when indirection gains
+// nothing, and on a quiet mesh this keeps the loss-optimized route from
+// collapsing onto the latency-optimized one. Among strictly better
+// indirect candidates, ties break toward lower latency.
+func (s *Selector) BestLoss(src, dst int) Choice {
+	const eps = 1e-9
+	direct := s.est[src][dst]
+	directChoice := Choice{
+		Via:     -1,
+		Loss:    direct.LossRate(),
+		Latency: direct.LatencyEstimate(s.fallbackLat),
+	}
+	best := directChoice
+	for via := 0; via < s.n; via++ {
+		if via == src || via == dst {
+			continue
+		}
+		l1, l2 := s.est[src][via], s.est[via][dst]
+		loss := pathLoss(l1.LossRate(), l2.LossRate())
+		lat := l1.LatencyEstimate(s.fallbackLat) + l2.LatencyEstimate(s.fallbackLat)
+		if loss < best.Loss-eps ||
+			(loss < best.Loss+eps && !best.IsDirect() && lat < best.Latency) {
+			best = Choice{Via: via, Loss: loss, Latency: lat}
+		}
+	}
+	if directChoice.Loss <= best.Loss+eps {
+		return directChoice
+	}
+	return best
+}
+
+// BestLat returns the latency-optimized path from src to dst, skipping
+// completely failed links ("minimizes latency and avoids completely
+// failed links", §4). If every candidate path crosses a dead link, the
+// direct path is returned as a last resort.
+func (s *Selector) BestLat(src, dst int) Choice {
+	direct := s.est[src][dst]
+	best := Choice{Via: -1, Loss: direct.LossRate(), Latency: direct.LatencyEstimate(s.fallbackLat)}
+	bestAlive := !direct.Dead()
+	for via := 0; via < s.n; via++ {
+		if via == src || via == dst {
+			continue
+		}
+		l1, l2 := s.est[src][via], s.est[via][dst]
+		if l1.Dead() || l2.Dead() {
+			continue
+		}
+		lat := l1.LatencyEstimate(s.fallbackLat) + l2.LatencyEstimate(s.fallbackLat)
+		loss := pathLoss(l1.LossRate(), l2.LossRate())
+		if !bestAlive || lat < best.Latency {
+			best = Choice{Via: via, Loss: loss, Latency: lat}
+			bestAlive = true
+		}
+	}
+	return best
+}
+
+// Tables is a full routing snapshot: for every ordered pair, the selected
+// intermediate (-1 = direct) under each optimization goal.
+type Tables struct {
+	// LossVia[src][dst] and LatVia[src][dst] give the chosen
+	// intermediate, or -1 for the direct path.
+	LossVia [][]int
+	LatVia  [][]int
+}
+
+// Snapshot computes routing tables for all ordered pairs. Campaigns call
+// this periodically (the paper's probing updates selections continuously;
+// a 15 s refresh matches the probe interval's information rate).
+func (s *Selector) Snapshot() Tables {
+	t := Tables{
+		LossVia: make([][]int, s.n),
+		LatVia:  make([][]int, s.n),
+	}
+	for i := 0; i < s.n; i++ {
+		t.LossVia[i] = make([]int, s.n)
+		t.LatVia[i] = make([]int, s.n)
+		for j := 0; j < s.n; j++ {
+			if i == j {
+				t.LossVia[i][j] = -1
+				t.LatVia[i][j] = -1
+				continue
+			}
+			t.LossVia[i][j] = s.BestLoss(i, j).Via
+			t.LatVia[i][j] = s.BestLat(i, j).Via
+		}
+	}
+	return t
+}
+
+// FallbackLatency returns the latency charged to unmeasured links.
+func (s *Selector) FallbackLatency() time.Duration { return s.fallbackLat }
+
+// SetFallbackLatency overrides the unmeasured-link latency penalty.
+func (s *Selector) SetFallbackLatency(d time.Duration) { s.fallbackLat = d }
+
+// SetHysteresis enables damped selection: a new path must improve on the
+// currently held path's metric by margin (e.g. 0.25 = 25% better) before
+// BestLossStable/BestLatStable switch away from it. Zero disables.
+func (s *Selector) SetHysteresis(margin float64) {
+	if margin < 0 {
+		margin = 0
+	}
+	s.hysteresis = margin
+	if margin > 0 && s.prevLoss == nil {
+		s.prevLoss = make([][]int, s.n)
+		s.prevLat = make([][]int, s.n)
+		for i := range s.prevLoss {
+			s.prevLoss[i] = make([]int, s.n)
+			s.prevLat[i] = make([]int, s.n)
+			for j := range s.prevLoss[i] {
+				s.prevLoss[i][j] = -1
+				s.prevLat[i][j] = -1
+			}
+		}
+	}
+}
+
+// evaluate scores one candidate path.
+func (s *Selector) evaluate(src, dst, via int) Choice {
+	if via < 0 {
+		le := s.est[src][dst]
+		return Choice{Via: -1, Loss: le.LossRate(),
+			Latency: le.LatencyEstimate(s.fallbackLat)}
+	}
+	l1, l2 := s.est[src][via], s.est[via][dst]
+	return Choice{
+		Via:  via,
+		Loss: pathLoss(l1.LossRate(), l2.LossRate()),
+		Latency: l1.LatencyEstimate(s.fallbackLat) +
+			l2.LatencyEstimate(s.fallbackLat),
+	}
+}
+
+// pathDead reports whether a candidate path crosses a dead link.
+func (s *Selector) pathDead(src, dst, via int) bool {
+	if via < 0 {
+		return s.est[src][dst].Dead()
+	}
+	return s.est[src][via].Dead() || s.est[via][dst].Dead()
+}
+
+// BestLossStable is BestLoss with hysteresis: the previously chosen path
+// is kept unless the fresh optimum beats its loss estimate by the
+// configured margin (absolute when the incumbent's loss is ~0), or the
+// incumbent crosses a dead link. Without hysteresis it equals BestLoss.
+func (s *Selector) BestLossStable(src, dst int) Choice {
+	best := s.BestLoss(src, dst)
+	if s.hysteresis <= 0 {
+		return best
+	}
+	cur := s.prevLoss[src][dst]
+	held := s.evaluate(src, dst, cur)
+	if !s.pathDead(src, dst, cur) && !betterBy(best.Loss, held.Loss, s.hysteresis) {
+		return held
+	}
+	s.prevLoss[src][dst] = best.Via
+	return best
+}
+
+// BestLatStable is BestLat with hysteresis on the latency metric.
+func (s *Selector) BestLatStable(src, dst int) Choice {
+	best := s.BestLat(src, dst)
+	if s.hysteresis <= 0 {
+		return best
+	}
+	cur := s.prevLat[src][dst]
+	held := s.evaluate(src, dst, cur)
+	if !s.pathDead(src, dst, cur) &&
+		!betterBy(float64(best.Latency), float64(held.Latency), s.hysteresis) {
+		return held
+	}
+	s.prevLat[src][dst] = best.Via
+	return best
+}
+
+// betterBy reports whether challenger improves on incumbent by the
+// relative margin; for near-zero incumbents an absolute epsilon applies
+// so a 0-vs-0 tie never switches.
+func betterBy(challenger, incumbent, margin float64) bool {
+	if incumbent <= 1e-12 {
+		return false // can't beat a perfect incumbent
+	}
+	return challenger < incumbent*(1-margin)
+}

@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Impairment decides the fate of one in-process datagram from one node to
+// another: whether it is dropped and how long it is delayed. A nil
+// impairment delivers everything immediately.
+type Impairment func(from, to wire.NodeID, size int) (drop bool, delay time.Duration)
+
+// Mesh is an in-process datagram network connecting a fixed set of nodes.
+// It delivers packets through per-endpoint goroutines, optionally through
+// an Impairment (loss/delay injection), making it suitable for unit tests
+// and runnable examples that need lossy paths without real machines.
+type Mesh struct {
+	mu        sync.Mutex
+	endpoints map[wire.NodeID]*meshEndpoint
+	impair    Impairment
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+// NewMesh creates an empty mesh with an optional impairment.
+func NewMesh(impair Impairment) *Mesh {
+	return &Mesh{
+		endpoints: make(map[wire.NodeID]*meshEndpoint),
+		impair:    impair,
+	}
+}
+
+// meshEndpoint is one node's attachment to the mesh.
+type meshEndpoint struct {
+	mesh    *Mesh
+	id      wire.NodeID
+	mu      sync.Mutex
+	handler Handler
+	ch      chan []byte
+	done    chan struct{}
+	once    sync.Once
+}
+
+// Endpoint attaches a node to the mesh, creating its delivery queue.
+// Attaching the same ID twice replaces the previous endpoint.
+func (m *Mesh) Endpoint(id wire.NodeID) Transport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep := &meshEndpoint{
+		mesh: m,
+		id:   id,
+		ch:   make(chan []byte, 1024),
+		done: make(chan struct{}),
+	}
+	m.endpoints[id] = ep
+	m.wg.Add(1)
+	go ep.deliverLoop(&m.wg)
+	return ep
+}
+
+// Close shuts down every endpoint.
+func (m *Mesh) Close() error {
+	m.mu.Lock()
+	eps := make([]*meshEndpoint, 0, len(m.endpoints))
+	for _, ep := range m.endpoints {
+		eps = append(eps, ep)
+	}
+	m.closed = true
+	m.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	m.wg.Wait()
+	return nil
+}
+
+func (ep *meshEndpoint) deliverLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case pkt := <-ep.ch:
+			ep.mu.Lock()
+			h := ep.handler
+			ep.mu.Unlock()
+			if h != nil {
+				h(pkt)
+			}
+		case <-ep.done:
+			return
+		}
+	}
+}
+
+// LocalID implements Transport.
+func (ep *meshEndpoint) LocalID() wire.NodeID { return ep.id }
+
+// SetHandler implements Transport.
+func (ep *meshEndpoint) SetHandler(h Handler) {
+	ep.mu.Lock()
+	ep.handler = h
+	ep.mu.Unlock()
+}
+
+// Send implements Transport: the packet is copied, subjected to the
+// mesh's impairment, and enqueued at the destination (possibly after a
+// delay). A full destination queue drops the packet, like a full NIC
+// ring.
+func (ep *meshEndpoint) Send(nextHop wire.NodeID, pkt []byte) error {
+	m := ep.mesh
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	dst, ok := m.endpoints[nextHop]
+	impair := m.impair
+	m.mu.Unlock()
+	if !ok {
+		return ErrUnknownNode
+	}
+
+	cp := make([]byte, len(pkt))
+	copy(cp, pkt)
+
+	var delay time.Duration
+	if impair != nil {
+		drop, d := impair(ep.id, nextHop, len(cp))
+		if drop {
+			return nil // silently lost, like the real network
+		}
+		delay = d
+	}
+	deliver := func() {
+		select {
+		case dst.ch <- cp:
+		default: // queue overflow: drop
+		}
+	}
+	if delay <= 0 {
+		deliver()
+		return nil
+	}
+	time.AfterFunc(delay, deliver)
+	return nil
+}
+
+// Close implements Transport.
+func (ep *meshEndpoint) Close() error {
+	ep.once.Do(func() { close(ep.done) })
+	return nil
+}
+
+// RandomLoss returns an impairment dropping each packet independently
+// with probability p and delaying delivery by base plus up to jitter.
+// It is deterministic only in distribution; seed controls the stream.
+func RandomLoss(p float64, base, jitter time.Duration, seed int64) Impairment {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func(from, to wire.NodeID, size int) (bool, time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		drop := rng.Float64() < p
+		d := base
+		if jitter > 0 {
+			d += time.Duration(rng.Int63n(int64(jitter)))
+		}
+		return drop, d
+	}
+}

@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// SimImpairment adapts a netsim.Network into a Mesh impairment: each
+// in-process datagram between nodes i and j experiences the simulated
+// direct path i→j at the current wall-clock offset, including bursty
+// loss, outages, and queueing delay. This gives runnable examples a
+// realistically misbehaving network on one machine.
+//
+// Overlay-level indirection still works naturally: a packet relayed
+// through node R crosses the simulated paths src→R and R→dst as two
+// separate datagrams, just as the real overlay would.
+type SimImpairment struct {
+	mu    sync.Mutex
+	nw    *netsim.Network
+	start time.Time
+	// Accel compresses wall time into virtual time so examples can
+	// meet episodes quickly; 1 = real time.
+	accel float64
+}
+
+// NewSimImpairment wraps a simulated network. accel <= 0 defaults to 1.
+func NewSimImpairment(nw *netsim.Network, accel float64) *SimImpairment {
+	if accel <= 0 {
+		accel = 1
+	}
+	return &SimImpairment{nw: nw, start: time.Now(), accel: accel}
+}
+
+// Func returns the Impairment callback for Mesh.
+func (s *SimImpairment) Func() Impairment {
+	return func(from, to wire.NodeID, size int) (bool, time.Duration) {
+		if from == to {
+			return false, 0
+		}
+		n := s.nw.Testbed().N()
+		if int(from) >= n || int(to) >= n {
+			return false, 0
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		vt := netsim.Time(float64(time.Since(s.start)) * s.accel)
+		out := s.nw.Send(vt, netsim.Direct(int(from), int(to)))
+		if !out.Delivered {
+			return true, 0
+		}
+		// Delays are delivered in wall time; compress by accel so the
+		// example's perceived latencies stay proportional.
+		return false, time.Duration(float64(out.Latency) / s.accel)
+	}
+}
+
+// Now returns the current virtual time of the impaired world.
+func (s *SimImpairment) Now() netsim.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return netsim.Time(float64(time.Since(s.start)) * s.accel)
+}

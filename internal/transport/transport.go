@@ -1,0 +1,43 @@
+// Package transport carries overlay datagrams between nodes. It provides
+// a real UDP transport for distributed deployment (cmd/ronnode), an
+// in-process mesh for tests and examples, and an impairing wrapper that
+// subjects in-process traffic to a simulated substrate so overlay
+// behavior under loss can be demonstrated without a testbed.
+package transport
+
+import (
+	"errors"
+
+	"repro/internal/wire"
+)
+
+// Handler consumes one received datagram. The buffer is only valid for
+// the duration of the call; handlers that retain data must copy it.
+type Handler func(pkt []byte)
+
+// Transport moves datagrams between overlay nodes. Sends are addressed by
+// next-hop NodeID; the wire header's Dst may name a different final
+// destination (one-hop overlay forwarding). Implementations must be safe
+// for concurrent Send calls.
+type Transport interface {
+	// LocalID returns the node this endpoint belongs to.
+	LocalID() wire.NodeID
+	// Send transmits pkt to the next-hop node. Like UDP, delivery is
+	// best-effort: an error means the send could not be attempted, not
+	// that the packet failed to arrive.
+	Send(nextHop wire.NodeID, pkt []byte) error
+	// SetHandler installs the receive callback. It must be called
+	// before traffic flows; implementations deliver packets
+	// sequentially per endpoint.
+	SetHandler(h Handler)
+	// Close releases resources and stops delivery.
+	Close() error
+}
+
+// Errors common to transports.
+var (
+	// ErrClosed is returned by Send after Close.
+	ErrClosed = errors.New("transport: closed")
+	// ErrUnknownNode is returned when the next hop has no known address.
+	ErrUnknownNode = errors.New("transport: unknown node")
+)

@@ -1,0 +1,243 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/wire"
+)
+
+func TestMeshDelivers(t *testing.T) {
+	m := NewMesh(nil)
+	defer m.Close()
+	a := m.Endpoint(0)
+	b := m.Endpoint(1)
+
+	got := make(chan []byte, 1)
+	b.SetHandler(func(pkt []byte) {
+		cp := append([]byte(nil), pkt...)
+		got <- cp
+	})
+	if err := a.Send(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case pkt := <-got:
+		if string(pkt) != "hello" {
+			t.Errorf("payload = %q", pkt)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("packet not delivered")
+	}
+}
+
+func TestMeshUnknownNode(t *testing.T) {
+	m := NewMesh(nil)
+	defer m.Close()
+	a := m.Endpoint(0)
+	if err := a.Send(9, []byte("x")); err != ErrUnknownNode {
+		t.Errorf("err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestMeshClosedSend(t *testing.T) {
+	m := NewMesh(nil)
+	a := m.Endpoint(0)
+	m.Close()
+	if err := a.Send(0, []byte("x")); err != ErrClosed {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMeshImpairmentDropsAndDelays(t *testing.T) {
+	var sent, delivered atomic.Int64
+	dropAll := func(from, to wire.NodeID, size int) (bool, time.Duration) {
+		return true, 0
+	}
+	m := NewMesh(dropAll)
+	defer m.Close()
+	a := m.Endpoint(0)
+	b := m.Endpoint(1)
+	b.SetHandler(func(pkt []byte) { delivered.Add(1) })
+	for i := 0; i < 100; i++ {
+		sent.Add(1)
+		if err := a.Send(1, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	if delivered.Load() != 0 {
+		t.Errorf("delivered %d packets through a drop-all impairment", delivered.Load())
+	}
+}
+
+func TestMeshDelayOrdering(t *testing.T) {
+	delay := func(from, to wire.NodeID, size int) (bool, time.Duration) {
+		return false, 20 * time.Millisecond
+	}
+	m := NewMesh(delay)
+	defer m.Close()
+	a := m.Endpoint(0)
+	b := m.Endpoint(1)
+	got := make(chan time.Time, 1)
+	b.SetHandler(func(pkt []byte) { got <- time.Now() })
+	start := time.Now()
+	a.Send(1, []byte("x"))
+	select {
+	case at := <-got:
+		if at.Sub(start) < 15*time.Millisecond {
+			t.Errorf("delivered after %v, want >= ~20ms", at.Sub(start))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delayed packet never arrived")
+	}
+}
+
+func TestMeshCopiesBuffers(t *testing.T) {
+	m := NewMesh(nil)
+	defer m.Close()
+	a := m.Endpoint(0)
+	b := m.Endpoint(1)
+	got := make(chan byte, 1)
+	b.SetHandler(func(pkt []byte) { got <- pkt[0] })
+	buf := []byte{42}
+	a.Send(1, buf)
+	buf[0] = 99 // mutate after send; receiver must see the original
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Errorf("receiver saw mutated buffer: %d", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("not delivered")
+	}
+}
+
+func TestRandomLossStatistics(t *testing.T) {
+	imp := RandomLoss(0.5, 0, 0, 7)
+	var drops int
+	const n = 10000
+	for i := 0; i < n; i++ {
+		d, _ := imp(0, 1, 100)
+		if d {
+			drops++
+		}
+	}
+	if drops < n*4/10 || drops > n*6/10 {
+		t.Errorf("drop rate = %v, want ≈0.5", float64(drops)/n)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	ua, err := NewUDP(0, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ua.Close()
+	ub, err := NewUDP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ub.Close()
+	ua.SetRoster(1, ub.LocalAddr())
+	ub.SetRoster(0, ua.LocalAddr())
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	ub.SetHandler(func(pkt []byte) {
+		if string(pkt) == "ping" {
+			ub.Send(0, []byte("pong"))
+		}
+	})
+	ua.SetHandler(func(pkt []byte) {
+		if string(pkt) == "pong" {
+			wg.Done()
+		}
+	})
+	if err := ua.Send(1, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("UDP round trip timed out")
+	}
+}
+
+func TestUDPUnknownNode(t *testing.T) {
+	u, err := NewUDP(0, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if err := u.Send(5, []byte("x")); err == nil {
+		t.Error("send to unknown node should fail")
+	}
+}
+
+func TestUDPClosedSend(t *testing.T) {
+	u, err := NewUDP(0, "127.0.0.1:0", map[wire.NodeID]string{1: "127.0.0.1:9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Close()
+	if err := u.Send(1, []byte("x")); err != ErrClosed {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	// Double close is safe.
+	if err := u.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestUDPBadRoster(t *testing.T) {
+	if _, err := NewUDP(0, "127.0.0.1:0", map[wire.NodeID]string{1: "not-an-addr:xx"}); err == nil {
+		t.Error("bad roster address accepted")
+	}
+	if _, err := NewUDP(0, "bad::::addr", nil); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}
+
+func TestSimImpairmentShapesTraffic(t *testing.T) {
+	tb := topo.RON2002()
+	prof := netsim.DefaultProfile()
+	prof.LossScale = 200 // make loss visible quickly
+	nw := netsim.New(tb, prof, 5)
+	imp := NewSimImpairment(nw, 50000) // heavy acceleration
+	f := imp.Func()
+
+	var drops, total int
+	for i := 0; i < 3000; i++ {
+		d, delay := f(0, 1, 100)
+		total++
+		if d {
+			drops++
+		} else if delay < 0 {
+			t.Fatal("negative delay")
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+	if drops == 0 {
+		t.Error("accelerated lossy world produced no drops")
+	}
+	if drops == total {
+		t.Error("every packet dropped; impairment miswired")
+	}
+	if imp.Now() <= 0 {
+		t.Error("virtual clock not advancing")
+	}
+	// Same-node and out-of-range traffic passes through.
+	if d, _ := f(3, 3, 10); d {
+		t.Error("self traffic dropped")
+	}
+	if d, _ := f(200, 1, 10); d {
+		t.Error("out-of-range traffic dropped")
+	}
+}

@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// UDP is a Transport over real UDP sockets, used by cmd/ronnode for
+// distributed deployment. Node addresses come from a static roster, as
+// the RON testbed's did.
+type UDP struct {
+	id     wire.NodeID
+	conn   *net.UDPConn
+	roster map[wire.NodeID]*net.UDPAddr
+
+	mu      sync.Mutex
+	handler Handler
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewUDP binds a UDP socket at listenAddr (e.g. ":4710" or
+// "127.0.0.1:4710") for the given node and roster. The roster maps every
+// mesh node — including this one — to its UDP address.
+func NewUDP(id wire.NodeID, listenAddr string, roster map[wire.NodeID]string) (*UDP, error) {
+	laddr, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", listenAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", listenAddr, err)
+	}
+	u := &UDP{
+		id:     id,
+		conn:   conn,
+		roster: make(map[wire.NodeID]*net.UDPAddr, len(roster)),
+	}
+	for nid, addr := range roster {
+		a, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: resolve roster %v=%q: %w", nid, addr, err)
+		}
+		u.roster[nid] = a
+	}
+	u.wg.Add(1)
+	go u.readLoop()
+	return u, nil
+}
+
+// LocalAddr returns the bound socket address (useful with ":0" listens).
+func (u *UDP) LocalAddr() *net.UDPAddr {
+	return u.conn.LocalAddr().(*net.UDPAddr)
+}
+
+// SetRoster replaces a node's address (e.g. after late binding with :0).
+func (u *UDP) SetRoster(id wire.NodeID, addr *net.UDPAddr) {
+	u.mu.Lock()
+	u.roster[id] = addr
+	u.mu.Unlock()
+}
+
+func (u *UDP) readLoop() {
+	defer u.wg.Done()
+	buf := make([]byte, wire.MaxPacketLen+64)
+	for {
+		n, _, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		u.mu.Lock()
+		h := u.handler
+		u.mu.Unlock()
+		if h != nil && n > 0 {
+			h(buf[:n])
+		}
+	}
+}
+
+// LocalID implements Transport.
+func (u *UDP) LocalID() wire.NodeID { return u.id }
+
+// SetHandler implements Transport.
+func (u *UDP) SetHandler(h Handler) {
+	u.mu.Lock()
+	u.handler = h
+	u.mu.Unlock()
+}
+
+// Send implements Transport.
+func (u *UDP) Send(nextHop wire.NodeID, pkt []byte) error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return ErrClosed
+	}
+	addr, ok := u.roster[nextHop]
+	u.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownNode, nextHop)
+	}
+	_, err := u.conn.WriteToUDP(pkt, addr)
+	return err
+}
+
+// Close implements Transport.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	u.mu.Unlock()
+	err := u.conn.Close()
+	u.wg.Wait()
+	return err
+}

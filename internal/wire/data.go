@@ -1,0 +1,237 @@
+package wire
+
+import "fmt"
+
+// dataHeaderLen is the encoded size of a DataPacket's fixed fields,
+// excluding the payload.
+const dataHeaderLen = 2 + 2 + 1 + 1 + 4 + 4 + 8
+
+// DataPacket is the body of a TypeData datagram: an application payload
+// addressed to a final overlay destination, optionally relayed through at
+// most one intermediate node (the paper's overlay routing method, §1).
+//
+// Layout after the common header (big endian):
+//
+//	0  uint16 origin node id
+//	2  uint16 final destination node id
+//	4  uint8  tactic code the sender used for this copy
+//	5  uint8  copy index (0 or 1 for 2-redundant transmission)
+//	6  uint32 stream id
+//	10 uint32 stream sequence number
+//	14 int64  origin timestamp, ns
+//	22 ...    payload
+type DataPacket struct {
+	Origin    NodeID
+	FinalDst  NodeID
+	Tactic    TacticCode
+	CopyIndex uint8
+	StreamID  uint32
+	Seq       uint32
+	SentAt    int64
+	// Payload is the application bytes. On decode it aliases the input
+	// buffer; callers that retain it past the buffer's lifetime must
+	// copy it.
+	Payload []byte
+}
+
+// AppendTo serializes the data body onto b.
+func (d *DataPacket) AppendTo(b []byte) []byte {
+	b = appendU16(b, uint16(d.Origin))
+	b = appendU16(b, uint16(d.FinalDst))
+	b = append(b, byte(d.Tactic), d.CopyIndex)
+	b = appendU32(b, d.StreamID)
+	b = appendU32(b, d.Seq)
+	b = appendI64(b, d.SentAt)
+	b = append(b, d.Payload...)
+	return b
+}
+
+// DecodeFromBytes parses a data body from b (the bytes after the header).
+// The Payload field aliases b.
+func (d *DataPacket) DecodeFromBytes(b []byte) error {
+	if len(b) < dataHeaderLen {
+		return fmt.Errorf("%w: data body %d < %d", ErrTooShort, len(b), dataHeaderLen)
+	}
+	d.Origin = NodeID(getU16(b[0:]))
+	d.FinalDst = NodeID(getU16(b[2:]))
+	d.Tactic = TacticCode(b[4])
+	d.CopyIndex = b[5]
+	d.StreamID = getU32(b[6:])
+	d.Seq = getU32(b[10:])
+	d.SentAt = getI64(b[14:])
+	d.Payload = b[dataHeaderLen:]
+	return nil
+}
+
+// linkStateEntryLen is the encoded size of one LinkStateEntry.
+const linkStateEntryLen = 2 + 2 + 4
+
+// linkStateFixedLen is the encoded size of LinkState's fields before the
+// entry array.
+const linkStateFixedLen = 8 + 4 + 2 + 2
+
+// MaxLinkStateEntries is the largest number of entries a single link-state
+// message may carry while staying under MaxPacketLen.
+const MaxLinkStateEntries = (MaxPacketLen - HeaderLen - linkStateFixedLen) / linkStateEntryLen
+
+// LinkStateEntry summarizes one virtual link as measured by the sender:
+// the loss rate over the recent probe window and a smoothed latency. Loss
+// is a fixed-point fraction in units of 1/65535 so that 0..1 maps onto the
+// full uint16 range.
+type LinkStateEntry struct {
+	Peer NodeID
+	// LossQ16 is the measured loss fraction scaled by 65535.
+	LossQ16 uint16
+	// LatencyMicros is the smoothed one-way latency estimate.
+	LatencyMicros uint32
+}
+
+// LossFraction returns the entry's loss rate as a float in [0,1].
+func (e LinkStateEntry) LossFraction() float64 {
+	return float64(e.LossQ16) / 65535.0
+}
+
+// QuantizeLoss converts a loss fraction in [0,1] to the wire fixed-point
+// representation, clamping out-of-range inputs.
+func QuantizeLoss(f float64) uint16 {
+	if f <= 0 {
+		return 0
+	}
+	if f >= 1 {
+		return 65535
+	}
+	return uint16(f*65535 + 0.5)
+}
+
+// LinkState is the body of a TypeLinkState datagram: the sender's current
+// measurements of its links to each peer, used by the reactive routing
+// protocol to build one-intermediate-hop routes.
+//
+// Layout after the common header (big endian):
+//
+//	0  int64  generation timestamp, ns
+//	8  uint32 sequence number
+//	12 uint16 entry count
+//	14 uint16 reserved
+//	16 ...    entries (peer uint16, lossQ16 uint16, latencyMicros uint32)
+type LinkState struct {
+	GeneratedAt int64
+	Seq         uint32
+	Entries     []LinkStateEntry
+}
+
+// AppendTo serializes the link-state body onto b.
+func (ls *LinkState) AppendTo(b []byte) []byte {
+	b = appendI64(b, ls.GeneratedAt)
+	b = appendU32(b, ls.Seq)
+	b = appendU16(b, uint16(len(ls.Entries)))
+	b = appendU16(b, 0)
+	for _, e := range ls.Entries {
+		b = appendU16(b, uint16(e.Peer))
+		b = appendU16(b, e.LossQ16)
+		b = appendU32(b, e.LatencyMicros)
+	}
+	return b
+}
+
+// DecodeFromBytes parses a link-state body from b. The Entries slice is
+// freshly allocated and does not alias b.
+func (ls *LinkState) DecodeFromBytes(b []byte) error {
+	if len(b) < linkStateFixedLen {
+		return fmt.Errorf("%w: link-state body %d < %d",
+			ErrTooShort, len(b), linkStateFixedLen)
+	}
+	ls.GeneratedAt = getI64(b[0:])
+	ls.Seq = getU32(b[8:])
+	n := int(getU16(b[12:]))
+	if n > MaxLinkStateEntries {
+		return fmt.Errorf("wire: link-state entry count %d exceeds max %d",
+			n, MaxLinkStateEntries)
+	}
+	need := linkStateFixedLen + n*linkStateEntryLen
+	if len(b) < need {
+		return fmt.Errorf("%w: link-state wants %d bytes, have %d",
+			ErrTooShort, need, len(b))
+	}
+	ls.Entries = make([]LinkStateEntry, n)
+	off := linkStateFixedLen
+	for i := 0; i < n; i++ {
+		ls.Entries[i] = LinkStateEntry{
+			Peer:          NodeID(getU16(b[off:])),
+			LossQ16:       getU16(b[off+2:]),
+			LatencyMicros: getU32(b[off+4:]),
+		}
+		off += linkStateEntryLen
+	}
+	return nil
+}
+
+// helloBodyLen is the encoded size of a Hello body.
+const helloBodyLen = 8 + 4 + 2 + 2
+
+// Hello is the body of a TypeHello datagram, announcing liveness and the
+// sender's view of the mesh epoch.
+type Hello struct {
+	SentAt int64
+	Seq    uint32
+	// MeshSize is the number of nodes the sender believes are in the
+	// mesh, used to detect configuration mismatches early.
+	MeshSize uint16
+}
+
+// AppendTo serializes the hello body onto b.
+func (h *Hello) AppendTo(b []byte) []byte {
+	b = appendI64(b, h.SentAt)
+	b = appendU32(b, h.Seq)
+	b = appendU16(b, h.MeshSize)
+	b = appendU16(b, 0)
+	return b
+}
+
+// DecodeFromBytes parses a hello body from b.
+func (h *Hello) DecodeFromBytes(b []byte) error {
+	if len(b) < helloBodyLen {
+		return fmt.Errorf("%w: hello body %d < %d", ErrTooShort, len(b), helloBodyLen)
+	}
+	h.SentAt = getI64(b[0:])
+	h.Seq = getU32(b[8:])
+	h.MeshSize = getU16(b[12:])
+	return nil
+}
+
+// Message is implemented by all wire message bodies.
+type Message interface {
+	AppendTo(b []byte) []byte
+	DecodeFromBytes(b []byte) error
+}
+
+// Build assembles a complete datagram: header, body, patched length and
+// checksum. It is the one-stop serializer used by transports.
+func Build(h Header, body Message) ([]byte, error) {
+	b := make([]byte, 0, 128)
+	b = h.AppendTo(b)
+	b = body.AppendTo(b)
+	return FinishPacket(b)
+}
+
+// BuildInto is like Build but reuses buf's storage when possible, for
+// allocation-free send paths.
+func BuildInto(buf []byte, h Header, body Message) ([]byte, error) {
+	b := buf[:0]
+	b = h.AppendTo(b)
+	b = body.AppendTo(b)
+	return FinishPacket(b)
+}
+
+// Open validates a received datagram (magic, version, length, checksum)
+// and returns its parsed header and body bytes. The body slice aliases b.
+func Open(b []byte) (Header, []byte, error) {
+	var h Header
+	if err := h.DecodeFromBytes(b); err != nil {
+		return Header{}, nil, err
+	}
+	if !VerifyChecksum(b) {
+		return Header{}, nil, ErrBadChecksum
+	}
+	return h, b[HeaderLen:], nil
+}

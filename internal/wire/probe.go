@@ -1,0 +1,157 @@
+package wire
+
+import "fmt"
+
+// TacticCode identifies the routing tactic a probe packet was sent with.
+// These mirror Table 4 of the paper: direct, random intermediate,
+// latency-optimized, and loss-optimized paths.
+type TacticCode uint8
+
+// Tactic codes carried in probe packets.
+const (
+	// TacticDirect sends on the native Internet path.
+	TacticDirect TacticCode = iota
+	// TacticRand relays through a uniformly random intermediate node.
+	TacticRand
+	// TacticLat follows the probe-selected latency-optimized path.
+	TacticLat
+	// TacticLoss follows the probe-selected loss-optimized path.
+	TacticLoss
+	numTacticCodes
+)
+
+// String returns the paper's name for the tactic.
+func (t TacticCode) String() string {
+	switch t {
+	case TacticDirect:
+		return "direct"
+	case TacticRand:
+		return "rand"
+	case TacticLat:
+		return "lat"
+	case TacticLoss:
+		return "loss"
+	default:
+		return fmt.Sprintf("tactic(%d)", uint8(t))
+	}
+}
+
+// Valid reports whether t is a defined tactic code.
+func (t TacticCode) Valid() bool { return t < numTacticCodes }
+
+// probeBodyLen is the encoded size of a ProbeRequest body.
+const probeBodyLen = 8 + 8 + 4 + 1 + 1 + 1 + 1 + 4 + 2 + 2
+
+// ProbeRequest is the body of a TypeProbeRequest datagram. A "probe" in
+// the paper's sense (§4.1) is one or two request packets sharing an ID;
+// the two packets of a pair are distinguished by CopyIndex and may use
+// different tactics (e.g. "direct rand") or a deliberate send gap
+// ("dd 10 ms").
+//
+// Layout after the common header (big endian):
+//
+//	0  uint64 probe id (random 64-bit identifier, as in §4.1)
+//	8  int64  sender timestamp, ns
+//	16 uint32 sender sequence number
+//	20 uint8  method id (which probe set this belongs to)
+//	21 uint8  tactic code for this copy
+//	22 uint8  copy index (0 or 1)
+//	23 uint8  copies in probe (1 or 2)
+//	24 uint32 pair gap, microseconds (for dd 10ms / dd 20ms)
+//	28 uint16 via node id (the intermediate actually used, NoNode if direct)
+//	30 uint16 reserved
+type ProbeRequest struct {
+	ID     uint64
+	SentAt int64
+	Seq    uint32
+	Method uint8
+	Tactic TacticCode
+	// CopyIndex is 0 for the first packet of a pair, 1 for the second.
+	CopyIndex uint8
+	// Copies is the number of packets in this probe (1 or 2).
+	Copies uint8
+	// PairGapMicros is the intended send gap between the two copies in
+	// microseconds (0 for back-to-back).
+	PairGapMicros uint32
+	// Via is the intermediate node this copy is routed through, or
+	// NoNode when the copy travels the direct path.
+	Via NodeID
+}
+
+// AppendTo serializes the probe body onto b.
+func (p *ProbeRequest) AppendTo(b []byte) []byte {
+	b = appendU64(b, p.ID)
+	b = appendI64(b, p.SentAt)
+	b = appendU32(b, p.Seq)
+	b = append(b, p.Method, byte(p.Tactic), p.CopyIndex, p.Copies)
+	b = appendU32(b, p.PairGapMicros)
+	b = appendU16(b, uint16(p.Via))
+	b = appendU16(b, 0)
+	return b
+}
+
+// DecodeFromBytes parses a probe body from b (the bytes after the header).
+func (p *ProbeRequest) DecodeFromBytes(b []byte) error {
+	if len(b) < probeBodyLen {
+		return fmt.Errorf("%w: probe body %d < %d", ErrTooShort, len(b), probeBodyLen)
+	}
+	p.ID = getU64(b[0:])
+	p.SentAt = getI64(b[8:])
+	p.Seq = getU32(b[16:])
+	p.Method = b[20]
+	p.Tactic = TacticCode(b[21])
+	p.CopyIndex = b[22]
+	p.Copies = b[23]
+	p.PairGapMicros = getU32(b[24:])
+	p.Via = NodeID(getU16(b[28:]))
+	if !p.Tactic.Valid() {
+		return fmt.Errorf("wire: invalid tactic code %d", p.Tactic)
+	}
+	if p.CopyIndex > 1 || p.Copies == 0 || p.Copies > 2 {
+		return fmt.Errorf("wire: invalid copy fields index=%d copies=%d",
+			p.CopyIndex, p.Copies)
+	}
+	return nil
+}
+
+// probeRespBodyLen is the encoded size of a ProbeResponse body.
+const probeRespBodyLen = 8 + 8 + 8 + 8 + 1 + 1 + 2
+
+// ProbeResponse is the body of a TypeProbeResponse datagram. Responders
+// echo the probe ID and sender timestamp and add their own receive and
+// response-send timestamps, letting the initiator compute round-trip time
+// and, with synchronized clocks, one-way delay (§4.1).
+type ProbeResponse struct {
+	ID         uint64
+	EchoSentAt int64
+	RecvAt     int64
+	RespSentAt int64
+	Tactic     TacticCode
+	CopyIndex  uint8
+}
+
+// AppendTo serializes the response body onto b.
+func (p *ProbeResponse) AppendTo(b []byte) []byte {
+	b = appendU64(b, p.ID)
+	b = appendI64(b, p.EchoSentAt)
+	b = appendI64(b, p.RecvAt)
+	b = appendI64(b, p.RespSentAt)
+	b = append(b, byte(p.Tactic), p.CopyIndex)
+	b = appendU16(b, 0)
+	return b
+}
+
+// DecodeFromBytes parses a probe-response body from b.
+func (p *ProbeResponse) DecodeFromBytes(b []byte) error {
+	if len(b) < probeRespBodyLen {
+		return fmt.Errorf("%w: probe response body %d < %d",
+			ErrTooShort, len(b), probeRespBodyLen)
+	}
+	p.ID = getU64(b[0:])
+	p.EchoSentAt = getI64(b[8:])
+	p.RecvAt = getI64(b[16:])
+	p.RespSentAt = getI64(b[24:])
+	p.Tactic = TacticCode(b[32])
+	p.CopyIndex = b[33]
+	return nil
+}
