@@ -13,6 +13,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"testing"
 	"time"
@@ -219,6 +220,47 @@ func fecRun(nw *netsim.Network, tb *topo.Testbed, code *fec.Code,
 	packets := groups * n
 	return 100 * float64(rawLost) / float64(packets),
 		100 * float64(postLost) / float64(packets)
+}
+
+// BenchmarkSweep measures the parallel sweep engine against a serial
+// run of the same grid: eight seed replicas of a compressed RONnarrow
+// campaign, merged into one set of tables. On a multi-core box the
+// parallel variant should approach a GOMAXPROCS-fold speedup, since
+// cells are independent CPU-bound campaigns.
+func BenchmarkSweep(b *testing.B) {
+	// The engine caps workers at the cell count, so name the parallel
+	// variant by what actually runs.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	for _, bench := range []struct {
+		name     string
+		parallel int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel=%d", workers), 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			var res *core.SweepResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = core.RunSweep(core.SweepSpec{
+					Datasets: []core.Dataset{core.RONnarrow},
+					Days:     benchDays,
+					BaseSeed: 1,
+					Replicas: 8,
+					Parallel: bench.parallel,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			merged := res.Groups[0].Merged
+			b.Logf("%d cells on %d workers in %.2fs; merged %d measurement probes",
+				len(res.Cells), res.Parallel, res.Wall.Seconds(), merged.MeasureProbes)
+		})
+	}
 }
 
 // --- Ablation benchmarks (design choices called out in DESIGN.md §5) ---

@@ -7,52 +7,79 @@
 // Usage:
 //
 //	ronreport -hosts 30 -methods "loss,direct rand,lat loss" node0.trc node1.trc ...
+//
+// With -sweep, ronreport instead reads a ronsim sweep output directory
+// (its sweep.json manifest plus the per-cell trace files recorded with
+// ronsim -sweep -trace), rebuilds one aggregator per replicate, and
+// combines each grid point's replicas via aggregator merging:
+//
+//	ronsim -sweep -replicas 4 -out results/ -trace results/traces
+//	ronreport -sweep results/
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/core"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		hosts   = flag.Int("hosts", 30, "number of hosts in the mesh")
-		methods = flag.String("methods", "direct", "comma-separated method names, indexed by the Method field in the logs")
+		hosts    = flag.Int("hosts", 30, "number of hosts in the mesh")
+		methods  = flag.String("methods", "direct", "comma-separated method names, indexed by the Method field in the logs")
+		sweepDir = flag.String("sweep", "", "read a ronsim sweep manifest (sweep.json) from this directory and combine its per-cell traces")
 	)
 	flag.Parse()
+
+	if *sweepDir != "" {
+		if err := reportSweep(*sweepDir); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "ronreport: no trace files given")
 		os.Exit(2)
 	}
 	names := splitMethods(*methods)
+	agg, total, nlogs, matched, err := aggregateTraces(names, *hosts, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("merged %d records from %d logs\n", total, nlogs)
+	fmt.Printf("matched %d probe observations\n\n", matched)
+	printTables(agg)
+}
 
-	logs := make([][]trace.Record, 0, flag.NArg())
-	var total int
-	for _, path := range flag.Args() {
+// aggregateTraces reads trace files, matches sends to receives, and folds
+// the observations into a fresh aggregator. Observations whose method id
+// falls outside the provided name list are dropped (and reported).
+func aggregateTraces(names []string, hosts int, paths []string) (agg *analysis.Aggregator, records, logs, matched int, err error) {
+	logSets := make([][]trace.Record, 0, len(paths))
+	for _, path := range paths {
 		f, err := os.Open(path)
 		if err != nil {
-			fatal(err)
+			return nil, 0, 0, 0, err
 		}
 		recs, err := trace.ReadAll(f)
 		f.Close()
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", path, err))
+			return nil, 0, 0, 0, fmt.Errorf("%s: %w", path, err)
 		}
-		logs = append(logs, recs)
-		total += len(recs)
+		logSets = append(logSets, recs)
+		records += len(recs)
 	}
-	merged := trace.Merge(logs...)
-	fmt.Printf("merged %d records from %d logs\n", total, len(logs))
+	merged := trace.Merge(logSets...)
+	obs := trace.Match(merged, hosts, trace.DefaultMatchOptions())
 
-	obs := trace.Match(merged, *hosts, trace.DefaultMatchOptions())
-	fmt.Printf("matched %d probe observations\n\n", len(obs))
-
-	agg := analysis.NewAggregator(names, *hosts)
+	agg = analysis.NewAggregator(names, hosts)
 	skipped := 0
 	for _, o := range obs {
 		if o.Method >= len(names) {
@@ -63,8 +90,65 @@ func main() {
 	}
 	agg.Flush()
 	if skipped > 0 {
-		fmt.Printf("(skipped %d observations with method ids beyond -methods)\n", skipped)
+		fmt.Printf("(skipped %d observations with method ids beyond the %d known methods)\n",
+			skipped, len(names))
 	}
+	return agg, records, len(logSets), len(obs), nil
+}
+
+// reportSweep rebuilds each sweep grid point from its replicate traces
+// and prints the combined tables, mirroring what ronsim's in-process
+// merge produced.
+func reportSweep(dir string) error {
+	m, err := core.ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweep manifest: %d grid points\n\n", len(m.Groups))
+	reported := 0
+	for _, g := range m.Groups {
+		var combined *analysis.Aggregator
+		cells := 0
+		for _, c := range g.Cells {
+			if c.Trace == "" {
+				continue
+			}
+			path := c.Trace
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(dir, path)
+			}
+			agg, _, _, _, err := aggregateTraces(g.Methods, g.Hosts, []string{path})
+			if err != nil {
+				return fmt.Errorf("cell %s: %w", c.Name, err)
+			}
+			cells++
+			if combined == nil {
+				combined = agg
+				continue
+			}
+			if err := combined.Merge(agg); err != nil {
+				return fmt.Errorf("cell %s: %w", c.Name, err)
+			}
+		}
+		if combined == nil {
+			fmt.Printf("=== %s: no traces recorded (rerun ronsim -sweep with -trace) ===\n\n", g.Name)
+			continue
+		}
+		reported++
+		fmt.Printf("=== %s: %s, %d hosts, %d traced replicas combined ===\n",
+			g.Name, g.Dataset, g.Hosts, cells)
+		printTables(combined)
+	}
+	if reported == 0 {
+		return fmt.Errorf("no grid point had traces under %s", dir)
+	}
+	return nil
+}
+
+func printTables(agg *analysis.Aggregator) {
+	// Every caller hands over a flushed aggregator; Flush is idempotent,
+	// so re-flushing here keeps the Table 6 precondition local.
+	agg.Flush()
 	fmt.Println(analysis.RenderTable5(agg.Table5(), ""))
 	fmt.Println(analysis.RenderTable6(agg.HighLossHours()))
 }

@@ -7,6 +7,13 @@
 //
 //	ronsim -dataset ron2003 -days 2 -seed 1 -out results/
 //	ronsim -all -days 1
+//
+// Sweep mode expands a grid of campaigns — datasets × profile overrides ×
+// hysteresis settings × seed replicas — runs the cells over a worker
+// pool, and merges each grid point's replicas into one set of tables:
+//
+//	ronsim -sweep -replicas 8 -parallel 0 -days 0.5 -out results/
+//	ronsim -sweep -all -hysteresis 0,0.25 -lossscale 1,4 -replicas 4
 package main
 
 import (
@@ -14,28 +21,66 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/netsim"
 	"repro/internal/trace"
 )
+
+// allDatasets is what -all expands to, in both single-run and sweep mode.
+var allDatasets = []core.Dataset{core.RON2003, core.RONwide, core.RONnarrow}
 
 func main() {
 	var (
 		dataset = flag.String("dataset", "ron2003", "dataset to reproduce: ron2003, ronwide, ronnarrow")
 		days    = flag.Float64("days", 2, "virtual campaign length in days")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
+		seed    = flag.Uint64("seed", 1, "simulation seed (sweep mode: base seed for per-cell derivation)")
 		outDir  = flag.String("out", "", "directory for figure data files (omit to skip)")
 		all     = flag.Bool("all", false, "run all three datasets plus the Figure 6 model")
-		traceTo = flag.String("trace", "", "write §4.1 probe trace records to this file (analyze with ronreport)")
+		traceTo = flag.String("trace", "", "write §4.1 probe trace records to this file (sweep mode: directory of per-cell traces); analyze with ronreport")
+
+		sweep      = flag.Bool("sweep", false, "run a multi-campaign sweep over a worker pool and merge replicas")
+		replicas   = flag.Int("replicas", 1, "sweep: seed-varied replicates per grid point")
+		parallel   = flag.Int("parallel", 0, "sweep: max concurrent cells (0 = GOMAXPROCS)")
+		hysteresis = flag.String("hysteresis", "0", "sweep: comma-separated hysteresis margins for the grid")
+		lossScale  = flag.String("lossscale", "1", "sweep: comma-separated profile LossScale overrides for the grid")
+		edgeShare  = flag.String("edgeshare", "1", "sweep: comma-separated profile EdgeShare overrides for the grid")
 	)
 	flag.Parse()
 
+	if *sweep {
+		datasets := allDatasets
+		if !*all {
+			d, err := parseDataset(*dataset)
+			if err != nil {
+				fatal(err)
+			}
+			datasets = []core.Dataset{d}
+		}
+		if err := runSweep(sweepFlags{
+			datasets:   datasets,
+			days:       *days,
+			seed:       *seed,
+			replicas:   *replicas,
+			parallel:   *parallel,
+			hysteresis: *hysteresis,
+			lossScale:  *lossScale,
+			edgeShare:  *edgeShare,
+			outDir:     *outDir,
+			traceDir:   *traceTo,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *all {
-		for _, d := range []core.Dataset{core.RON2003, core.RONwide, core.RONnarrow} {
+		for _, d := range allDatasets {
 			if err := runDataset(d, *days, *seed, *outDir, ""); err != nil {
 				fatal(err)
 			}
@@ -66,6 +111,253 @@ func parseDataset(s string) (core.Dataset, error) {
 	default:
 		return 0, fmt.Errorf("unknown dataset %q (want ron2003, ronwide, ronnarrow)", s)
 	}
+}
+
+// parseFloatList parses a comma-separated list of floats ("1,4,8").
+func parseFloatList(flagName, s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: bad value %q: %w", flagName, part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s: empty list", flagName)
+	}
+	return out, nil
+}
+
+// parsePositiveFloatList is parseFloatList for knobs the substrate only
+// honors when > 0 (netsim treats non-positive LossScale/EdgeShare as the
+// calibrated default, which would silently turn a sweep axis into a
+// mislabeled baseline).
+func parsePositiveFloatList(flagName, s string) ([]float64, error) {
+	out, err := parseFloatList(flagName, s)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range out {
+		if v <= 0 {
+			return nil, fmt.Errorf("-%s: value %g must be > 0", flagName, v)
+		}
+	}
+	return out, nil
+}
+
+// profileVariants crosses LossScale × EdgeShare overrides into named
+// profile variants. The (1,1) point is the calibrated default and keeps
+// an empty name.
+func profileVariants(lossScales, edgeShares []float64) []core.ProfileVariant {
+	var out []core.ProfileVariant
+	for _, ls := range lossScales {
+		for _, es := range edgeShares {
+			if ls == 1 && es == 1 {
+				out = append(out, core.ProfileVariant{})
+				continue
+			}
+			p := netsim.DefaultProfile()
+			p.LossScale = ls
+			p.EdgeShare = es
+			out = append(out, core.ProfileVariant{
+				Name:    fmt.Sprintf("ls%g-es%g", ls, es),
+				Profile: p,
+			})
+		}
+	}
+	return out
+}
+
+type sweepFlags struct {
+	datasets             []core.Dataset
+	days                 float64
+	seed                 uint64
+	replicas, parallel   int
+	hysteresis           string
+	lossScale, edgeShare string
+	outDir, traceDir     string
+}
+
+// runSweep expands, runs, and reports a sweep: per-cell progress lines as
+// cells finish, one merged report per grid point, and — under -out —
+// per-cell and merged output directories plus a sweep.json manifest that
+// ronreport -sweep consumes.
+func runSweep(f sweepFlags) error {
+	hyst, err := parseFloatList("hysteresis", f.hysteresis)
+	if err != nil {
+		return err
+	}
+	ls, err := parsePositiveFloatList("lossscale", f.lossScale)
+	if err != nil {
+		return err
+	}
+	es, err := parsePositiveFloatList("edgeshare", f.edgeShare)
+	if err != nil {
+		return err
+	}
+
+	spec := core.SweepSpec{
+		Datasets:   f.datasets,
+		Days:       f.days,
+		BaseSeed:   f.seed,
+		Replicas:   f.replicas,
+		Profiles:   profileVariants(ls, es),
+		Hysteresis: hyst,
+		Parallel:   f.parallel,
+	}
+
+	// Per-cell trace writers, installed serially via the Configure hook
+	// and flushed after the run. Hook failures are stashed rather than
+	// exiting, so already-opened writers still get closed.
+	type cellTrace struct {
+		file *os.File
+		w    *trace.Writer
+		path string
+	}
+	traces := map[int]*cellTrace{}
+	var traceErr error
+	closeTraces := func() error {
+		var first error
+		for _, ct := range traces {
+			if err := ct.w.Flush(); err != nil && first == nil {
+				first = err
+			}
+			if err := ct.file.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	if f.traceDir != "" {
+		if err := os.MkdirAll(f.traceDir, 0o755); err != nil {
+			return err
+		}
+		spec.Configure = func(c core.Cell, cfg *core.Config) {
+			if traceErr != nil {
+				return
+			}
+			path := filepath.Join(f.traceDir, c.Name()+".trc")
+			file, err := os.Create(path)
+			if err != nil {
+				traceErr = err
+				return
+			}
+			w, err := trace.NewWriter(file)
+			if err != nil {
+				traceErr = err
+				file.Close()
+				return
+			}
+			traces[c.Index] = &cellTrace{file: file, w: w, path: path}
+			cfg.TraceSink = func(r trace.Record) { _ = w.Append(r) }
+		}
+	}
+
+	var total int
+	done := 0
+	spec.Progress = func(r core.CellResult) {
+		done++
+		status := fmt.Sprintf("wall %5.1fs", r.Wall.Seconds())
+		if r.Err != nil {
+			status = "FAILED: " + r.Err.Error()
+		} else {
+			status += fmt.Sprintf("  probes %d", r.Res.MeasureProbes)
+		}
+		fmt.Printf("[%3d/%3d] cell %-36s seed %-20d %s\n",
+			done, total, r.Cell.Name(), r.Cell.Seed, status)
+	}
+
+	s, err := core.NewSweep(spec)
+	if err != nil {
+		closeTraces()
+		return err
+	}
+	if traceErr != nil {
+		closeTraces()
+		return traceErr
+	}
+	total = len(s.Cells())
+	fmt.Printf("=== sweep: %d cells (%.2f virtual days each), base seed %d ===\n",
+		total, f.days, f.seed)
+
+	res, err := s.Run()
+	closeErr := closeTraces()
+	if err != nil {
+		return err
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	fmt.Printf("\nsweep finished in %.1fs on %d workers\n\n",
+		res.Wall.Seconds(), res.Parallel)
+
+	for gi := range res.Groups {
+		g := &res.Groups[gi]
+		fmt.Printf("=== merged %s: %d replicas ===\n%s\n",
+			g.Name(), len(g.Cells), g.Merged.Report())
+	}
+
+	if f.outDir != "" {
+		for i := range res.Cells {
+			c := &res.Cells[i]
+			dir := filepath.Join(f.outDir, "cells", c.Cell.Name())
+			if err := writeFigures(dir, c.Cell.Dataset, c.Res); err != nil {
+				return err
+			}
+		}
+		for gi := range res.Groups {
+			g := &res.Groups[gi]
+			dir := filepath.Join(f.outDir, "merged", g.Name())
+			if err := writeFigures(dir, g.Dataset, g.Merged); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %d cell and %d merged output directories under %s\n",
+			len(res.Cells), len(res.Groups), f.outDir)
+	}
+
+	// The manifest lands next to the figure output, or next to the
+	// traces when -out was omitted, so ronreport -sweep always has a
+	// directory to read.
+	manifestDir := f.outDir
+	if manifestDir == "" {
+		manifestDir = f.traceDir
+	}
+	if manifestDir == "" {
+		return nil
+	}
+	m := res.Manifest(func(c core.Cell) string {
+		ct, ok := traces[c.Index]
+		if !ok {
+			return ""
+		}
+		return manifestTracePath(manifestDir, ct.path)
+	})
+	if err := m.Write(manifestDir); err != nil {
+		return err
+	}
+	fmt.Printf("wrote manifest %s\n", filepath.Join(manifestDir, core.ManifestName))
+	return nil
+}
+
+// manifestTracePath stores a trace file's location relative to the
+// manifest's directory when possible, else absolute — never relative to
+// the process cwd, which ronreport would misresolve.
+func manifestTracePath(manifestDir, tracePath string) string {
+	dirAbs, err1 := filepath.Abs(manifestDir)
+	pathAbs, err2 := filepath.Abs(tracePath)
+	if err1 != nil || err2 != nil {
+		return tracePath
+	}
+	if rel, err := filepath.Rel(dirAbs, pathAbs); err == nil {
+		return rel
+	}
+	return pathAbs
 }
 
 func runDataset(d core.Dataset, days float64, seed uint64, outDir, traceTo string) error {

@@ -2,6 +2,36 @@ package main
 
 import "testing"
 
+func TestParseFloatList(t *testing.T) {
+	got, err := parseFloatList("lossscale", "1, 4,8")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 8 {
+		t.Errorf("parseFloatList = %v, %v", got, err)
+	}
+	if _, err := parseFloatList("hysteresis", "0.25,bogus"); err == nil {
+		t.Error("parseFloatList accepted a non-number")
+	}
+	if _, err := parseFloatList("edgeshare", " , "); err == nil {
+		t.Error("parseFloatList accepted an empty list")
+	}
+}
+
+func TestProfileVariants(t *testing.T) {
+	vs := profileVariants([]float64{1, 4}, []float64{1, 2})
+	if len(vs) != 4 {
+		t.Fatalf("got %d variants, want 4", len(vs))
+	}
+	if vs[0].Name != "" || vs[0].Profile != nil {
+		t.Errorf("(1,1) should be the default variant, got %+v", vs[0])
+	}
+	if vs[3].Name != "ls4-es2" || vs[3].Profile == nil {
+		t.Errorf("(4,2) variant = %+v", vs[3])
+	}
+	if vs[3].Profile.LossScale != 4 || vs[3].Profile.EdgeShare != 2 {
+		t.Errorf("variant profile knobs = %v/%v",
+			vs[3].Profile.LossScale, vs[3].Profile.EdgeShare)
+	}
+}
+
 func TestParseDataset(t *testing.T) {
 	cases := map[string]bool{
 		"ron2003": true, "RON2003": true, "ronwide": true,

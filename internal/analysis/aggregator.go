@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
@@ -241,6 +242,72 @@ func (a *Aggregator) Flush() {
 			}
 		}
 	}
+}
+
+// Merge folds other's statistics into a, so replicate campaigns run
+// independently (different seeds, different workers) can be combined into
+// one set of tables. Both aggregators must have been built with the same
+// method list and host count. Merge flushes both sides first, so every
+// in-progress window contributes before counters are summed; after the
+// merge, a's path counters, window samples, high-loss-hour counts, and
+// diurnal tallies are the element-wise sums. Merging the same aggregators
+// in any order yields identical query results (sums commute; CDF samples
+// merge as multisets and queries sort). other is flushed but otherwise
+// left intact.
+func (a *Aggregator) Merge(other *Aggregator) error {
+	if other == nil {
+		return errors.New("analysis: Merge with nil aggregator")
+	}
+	if a == other {
+		return errors.New("analysis: Merge of an aggregator with itself")
+	}
+	if a.nHosts != other.nHosts {
+		return fmt.Errorf("analysis: Merge host count mismatch: %d vs %d",
+			a.nHosts, other.nHosts)
+	}
+	if len(a.methods) != len(other.methods) {
+		return fmt.Errorf("analysis: Merge method count mismatch: %d vs %d",
+			len(a.methods), len(other.methods))
+	}
+	for i := range a.methods {
+		if a.methods[i] != other.methods[i] {
+			return fmt.Errorf("analysis: Merge method %d mismatch: %q vs %q",
+				i, a.methods[i], other.methods[i])
+		}
+	}
+	a.Flush()
+	other.Flush()
+	for m := range a.methods {
+		for pi := 0; pi < a.nPaths; pi++ {
+			ps, os := &a.perPath[m][pi], &other.perPath[m][pi]
+			ps.probes += os.probes
+			ps.firstSent += os.firstSent
+			ps.firstLost += os.firstLost
+			ps.secondSent += os.secondSent
+			ps.secondLost += os.secondLost
+			ps.bothLost += os.bothLost
+			ps.effLost += os.effLost
+			ps.latSumNS += os.latSumNS
+			ps.latN += os.latN
+			ps.lat1SumNS += os.lat1SumNS
+			ps.lat1N += os.lat1N
+			ps.lat2SumNS += os.lat2SumNS
+			ps.lat2N += os.lat2N
+		}
+		a.win20Rates[m].AddAll(other.win20Rates[m].Samples())
+		for i := range a.hourCounts[m] {
+			a.hourCounts[m][i] += other.hourCounts[m][i]
+		}
+		a.hourPeriods[m] += other.hourPeriods[m]
+		for h := 0; h < 24; h++ {
+			a.hodSent[m][h] += other.hodSent[m][h]
+			a.hodLost[m][h] += other.hodLost[m][h]
+		}
+	}
+	if other.hourMaxRate > a.hourMaxRate {
+		a.hourMaxRate = other.hourMaxRate
+	}
+	return nil
 }
 
 // MethodTotals is one row of Table 5 / Table 7.

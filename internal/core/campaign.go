@@ -28,6 +28,10 @@ type Result struct {
 	// RouteChanges counts table entries that changed across refreshes,
 	// a measure of routing dynamism.
 	RouteChanges int64
+	// MergedReplicas is the number of replicate campaigns summed into
+	// this result (0 or 1 for a single campaign). When > 1, Config's
+	// Seed is the first replica's and Days is per-replica.
+	MergedReplicas int
 }
 
 // campaign is the running state of one simulation.

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the filename of a sweep manifest inside its output
+// directory.
+const ManifestName = "sweep.json"
+
+// SweepManifest records what a sweep wrote to its output directory, so
+// post-processing tools (cmd/ronreport) can find and combine the
+// per-cell artifacts without re-deriving the grid.
+type SweepManifest struct {
+	Version int             `json:"version"`
+	Groups  []ManifestGroup `json:"groups"`
+}
+
+// ManifestGroup describes one merged grid point.
+type ManifestGroup struct {
+	Name       string         `json:"name"`
+	Dataset    string         `json:"dataset"`
+	Hosts      int            `json:"hosts"`
+	Methods    []string       `json:"methods"`
+	Hysteresis float64        `json:"hysteresis,omitempty"`
+	Profile    string         `json:"profile,omitempty"`
+	Cells      []ManifestCell `json:"cells"`
+}
+
+// ManifestCell describes one replicate campaign.
+type ManifestCell struct {
+	Name string `json:"name"`
+	Seed uint64 `json:"seed"`
+	// Trace is the cell's probe-trace file, relative to the manifest's
+	// directory; empty when the sweep ran without tracing.
+	Trace string `json:"trace,omitempty"`
+}
+
+// Manifest builds the manifest for a finished sweep. tracePath, when
+// non-nil, maps a cell to its trace file path relative to the output
+// directory (return "" for cells without traces).
+func (r *SweepResult) Manifest(tracePath func(Cell) string) *SweepManifest {
+	m := &SweepManifest{Version: 1}
+	for gi := range r.Groups {
+		g := &r.Groups[gi]
+		mg := ManifestGroup{
+			Name:       g.Name(),
+			Dataset:    g.Dataset.String(),
+			Hosts:      g.Merged.Testbed.N(),
+			Methods:    g.Merged.Agg.Methods(),
+			Hysteresis: g.Hysteresis,
+			Profile:    g.Profile.Name,
+		}
+		for _, c := range g.Cells {
+			mc := ManifestCell{Name: c.Cell.Name(), Seed: c.Cell.Seed}
+			if tracePath != nil {
+				mc.Trace = tracePath(c.Cell)
+			}
+			mg.Cells = append(mg.Cells, mc)
+		}
+		m.Groups = append(m.Groups, mg)
+	}
+	return m
+}
+
+// Write stores the manifest as ManifestName inside dir.
+func (m *SweepManifest) Write(dir string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestName), append(data, '\n'), 0o644)
+}
+
+// ReadManifest loads ManifestName from dir.
+func ReadManifest(dir string) (*SweepManifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m SweepManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("core: parsing %s: %w", ManifestName, err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported sweep manifest version %d", m.Version)
+	}
+	return &m, nil
+}

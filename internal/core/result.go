@@ -118,9 +118,15 @@ func (r *Result) Figure5() []*analysis.CDF {
 // Table 7 for RONwide), and Table 6.
 func (r *Result) Report() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "dataset %s: %d hosts, %d paths, %.1f virtual days, seed %d\n",
-		r.Config.Dataset, r.Testbed.N(), r.Testbed.Paths(), r.Config.Days,
-		r.Config.Seed)
+	if r.MergedReplicas > 1 {
+		fmt.Fprintf(&b, "dataset %s: %d hosts, %d paths, %d replicas × %.1f virtual days merged\n",
+			r.Config.Dataset, r.Testbed.N(), r.Testbed.Paths(),
+			r.MergedReplicas, r.Config.Days)
+	} else {
+		fmt.Fprintf(&b, "dataset %s: %d hosts, %d paths, %.1f virtual days, seed %d\n",
+			r.Config.Dataset, r.Testbed.N(), r.Testbed.Paths(), r.Config.Days,
+			r.Config.Seed)
+	}
 	fmt.Fprintf(&b, "probes: %d measurement, %d routing; route changes: %d\n\n",
 		r.MeasureProbes, r.RONProbes, r.RouteChanges)
 	title := "Table 5 (one-way loss percentages)"

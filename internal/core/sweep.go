@@ -1,0 +1,344 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/netsim"
+)
+
+// ProfileVariant names one substrate-profile override in a sweep grid.
+type ProfileVariant struct {
+	// Name labels the variant in cell names and output paths; empty
+	// means the calibrated default profile.
+	Name string
+	// Profile is the override; nil selects the calibrated default.
+	Profile *netsim.Profile
+}
+
+// SweepSpec describes a grid of campaigns: the cross product of
+// datasets × profile variants × hysteresis settings, each run Replicas
+// times under derived seeds. Replicates of one grid point merge into one
+// set of tables, so a sweep answers "how do the paper's tables move under
+// these knobs" with per-point error bars hidden behind larger samples.
+type SweepSpec struct {
+	// Datasets to sweep; empty means {RON2003}.
+	Datasets []Dataset
+	// Days is the virtual length of every cell; <=0 selects the
+	// DefaultConfig length.
+	Days float64
+	// BaseSeed seeds the sweep. Per-cell seeds are derived from it and
+	// the cell coordinates (not from scheduling), so results do not
+	// depend on worker count or completion order.
+	BaseSeed uint64
+	// Replicas is the number of seed-varied replicates per grid point;
+	// <=0 means 1.
+	Replicas int
+	// Profiles are the substrate variants; empty means the calibrated
+	// default only.
+	Profiles []ProfileVariant
+	// Hysteresis values crossed into the grid; empty means {0}.
+	Hysteresis []float64
+	// Parallel caps concurrently running cells; <=0 means
+	// runtime.GOMAXPROCS(0).
+	Parallel int
+	// Configure, when non-nil, is applied to each cell's Config after
+	// dataset, profile, hysteresis, and seed. It runs serially during
+	// expansion (NewSweep), so it may capture shared state without
+	// locking — e.g. to install per-cell trace sinks.
+	Configure func(Cell, *Config)
+	// Progress, when non-nil, receives each finished cell. Calls are
+	// serialized but arrive in completion order, which varies with
+	// Parallel.
+	Progress func(CellResult)
+}
+
+// Cell is one point of an expanded sweep grid.
+type Cell struct {
+	// Index is the cell's position in expansion order: datasets
+	// outermost, then profiles, hysteresis, and replicas innermost.
+	Index int
+	// Group indexes the cell's merge group; replicas of one grid point
+	// share a group.
+	Group      int
+	Dataset    Dataset
+	Profile    ProfileVariant
+	Hysteresis float64
+	// Replica is the replicate ordinal within the group.
+	Replica int
+	// Seed is the derived campaign seed.
+	Seed uint64
+}
+
+// GroupName labels the cell's grid point (dataset plus non-default
+// knobs), usable as a directory name.
+func (c Cell) GroupName() string {
+	name := strings.ToLower(c.Dataset.String())
+	if c.Profile.Name != "" {
+		name += "-" + c.Profile.Name
+	}
+	if c.Hysteresis > 0 {
+		name += fmt.Sprintf("-h%g", c.Hysteresis)
+	}
+	return name
+}
+
+// Name labels the cell itself: the group name plus the replica ordinal.
+func (c Cell) Name() string {
+	return fmt.Sprintf("%s-r%02d", c.GroupName(), c.Replica)
+}
+
+// CellResult is the outcome of one cell campaign.
+type CellResult struct {
+	Cell Cell
+	Res  *Result
+	// Wall is the cell's wall-clock duration.
+	Wall time.Duration
+	Err  error
+}
+
+// GroupResult combines one grid point's replicas.
+type GroupResult struct {
+	Dataset    Dataset
+	Profile    ProfileVariant
+	Hysteresis float64
+	// Cells are the group's replicate results in replica order.
+	Cells []*CellResult
+	// Merged sums the replicas: probe counters added, aggregators
+	// merged in replica order (order-independent by Aggregator.Merge's
+	// contract). Its Config is the first replica's.
+	Merged *Result
+}
+
+// Name labels the grid point.
+func (g *GroupResult) Name() string { return g.Cells[0].Cell.GroupName() }
+
+// SweepResult is the outcome of a whole sweep.
+type SweepResult struct {
+	// Cells holds every cell result in expansion order.
+	Cells []CellResult
+	// Groups holds the merged grid points in expansion order.
+	Groups []GroupResult
+	// Wall is the whole sweep's wall-clock duration.
+	Wall time.Duration
+	// Parallel is the worker count actually used.
+	Parallel int
+}
+
+// Sweep is an expanded, validated sweep ready to run. Build with
+// NewSweep; the grid (including derived seeds) is fixed at expansion
+// time, so Cells can be inspected — or persisted — before Run.
+type Sweep struct {
+	spec  SweepSpec
+	cells []Cell
+	cfgs  []Config
+	// groups[g] lists the cell indices of group g in replica order.
+	groups [][]int
+}
+
+// splitmix64 is the SplitMix64 finalizer, the standard way to turn
+// correlated integers into decorrelated seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// deriveSeed mixes the base seed with cell coordinates. Using the
+// coordinates — not the flat cell index — means a cell keeps its seed
+// when the grid grows along another axis.
+func deriveSeed(base uint64, parts ...uint64) uint64 {
+	x := splitmix64(base)
+	for _, p := range parts {
+		x = splitmix64(x ^ p)
+	}
+	return x
+}
+
+// NewSweep expands and validates a spec. Every cell's Config is built
+// (and Configure applied) here, serially, in expansion order.
+func NewSweep(spec SweepSpec) (*Sweep, error) {
+	datasets := spec.Datasets
+	if len(datasets) == 0 {
+		datasets = []Dataset{RON2003}
+	}
+	profiles := spec.Profiles
+	if len(profiles) == 0 {
+		profiles = []ProfileVariant{{}}
+	}
+	hysteresis := spec.Hysteresis
+	if len(hysteresis) == 0 {
+		hysteresis = []float64{0}
+	}
+	replicas := spec.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	s := &Sweep{spec: spec}
+	// Cell names double as output paths (trace files, figure dirs), so
+	// duplicate grid points — duplicated axis values, colliding profile
+	// names — must be rejected rather than silently overwriting each
+	// other's artifacts.
+	seen := make(map[string]struct{})
+	for di, d := range datasets {
+		for pi, pv := range profiles {
+			for hi, h := range hysteresis {
+				if h < 0 {
+					return nil, fmt.Errorf("core: sweep hysteresis %g < 0", h)
+				}
+				group := len(s.groups)
+				s.groups = append(s.groups, nil)
+				for r := 0; r < replicas; r++ {
+					cell := Cell{
+						Index:      len(s.cells),
+						Group:      group,
+						Dataset:    d,
+						Profile:    pv,
+						Hysteresis: h,
+						Replica:    r,
+						Seed: deriveSeed(spec.BaseSeed, uint64(di),
+							uint64(pi), uint64(hi), uint64(r)),
+					}
+					if _, dup := seen[cell.Name()]; dup {
+						return nil, fmt.Errorf("core: sweep grid point %s duplicated (repeated dataset, profile, or hysteresis value?)", cell.GroupName())
+					}
+					seen[cell.Name()] = struct{}{}
+					cfg := DefaultConfig(d, spec.Days)
+					cfg.Seed = cell.Seed
+					cfg.Profile = pv.Profile
+					cfg.Hysteresis = h
+					if spec.Configure != nil {
+						spec.Configure(cell, &cfg)
+					}
+					if err := cfg.Validate(); err != nil {
+						return nil, fmt.Errorf("core: sweep cell %s: %w", cell.Name(), err)
+					}
+					s.groups[group] = append(s.groups[group], cell.Index)
+					s.cells = append(s.cells, cell)
+					s.cfgs = append(s.cfgs, cfg)
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// Cells returns the expanded grid in expansion order.
+func (s *Sweep) Cells() []Cell { return append([]Cell(nil), s.cells...) }
+
+// Run executes every cell over a worker pool and merges replicas. Cells
+// are independent campaigns, so any schedule yields the same per-cell
+// results; merging happens afterwards in expansion order, making the
+// merged tables byte-identical across Parallel settings.
+func (s *Sweep) Run() (*SweepResult, error) {
+	start := time.Now()
+	workers := s.spec.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.cells) {
+		workers = len(s.cells)
+	}
+	results := make([]CellResult, len(s.cells))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				t0 := time.Now()
+				res, err := Run(s.cfgs[i])
+				results[i] = CellResult{
+					Cell: s.cells[i], Res: res,
+					Wall: time.Since(t0), Err: err,
+				}
+				if s.spec.Progress != nil {
+					progressMu.Lock()
+					s.spec.Progress(results[i])
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range s.cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var errs []error
+	for i := range results {
+		if results[i].Err != nil {
+			errs = append(errs, fmt.Errorf("cell %s: %w",
+				results[i].Cell.Name(), results[i].Err))
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+
+	out := &SweepResult{
+		Cells:    results,
+		Groups:   make([]GroupResult, len(s.groups)),
+		Parallel: workers,
+	}
+	for g, idxs := range s.groups {
+		cells := make([]*CellResult, len(idxs))
+		for k, i := range idxs {
+			cells[k] = &out.Cells[i]
+		}
+		merged, err := mergeCells(cells)
+		if err != nil {
+			return nil, err
+		}
+		first := cells[0].Cell
+		out.Groups[g] = GroupResult{
+			Dataset:    first.Dataset,
+			Profile:    first.Profile,
+			Hysteresis: first.Hysteresis,
+			Cells:      cells,
+			Merged:     merged,
+		}
+	}
+	out.Wall = time.Since(start)
+	return out, nil
+}
+
+// mergeCells sums replicate results into a fresh Result, merging
+// aggregators in replica order so the outcome is schedule-independent.
+func mergeCells(cells []*CellResult) (*Result, error) {
+	base := cells[0].Res
+	merged := &Result{
+		Config:  base.Config,
+		Testbed: base.Testbed,
+		Methods: base.Methods,
+		Agg:     analysis.NewAggregator(base.Agg.Methods(), base.Testbed.N()),
+	}
+	for _, c := range cells {
+		if err := merged.Agg.Merge(c.Res.Agg); err != nil {
+			return nil, fmt.Errorf("core: merging cell %s: %w", c.Cell.Name(), err)
+		}
+		merged.RONProbes += c.Res.RONProbes
+		merged.MeasureProbes += c.Res.MeasureProbes
+		merged.RouteChanges += c.Res.RouteChanges
+	}
+	merged.MergedReplicas = len(cells)
+	return merged, nil
+}
+
+// RunSweep expands and runs a sweep in one call.
+func RunSweep(spec SweepSpec) (*SweepResult, error) {
+	s, err := NewSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/netsim"
+)
+
+// sweepDays keeps sweep-test campaigns short: ~15 virtual minutes is
+// enough probes to populate every counter.
+const sweepDays = 0.01
+
+func TestSweepGridExpansion(t *testing.T) {
+	prof := netsim.DefaultProfile()
+	prof.LossScale = 2
+	spec := SweepSpec{
+		Datasets:   []Dataset{RON2003, RONnarrow},
+		Days:       sweepDays,
+		BaseSeed:   7,
+		Replicas:   3,
+		Profiles:   []ProfileVariant{{}, {Name: "lossy", Profile: prof}},
+		Hysteresis: []float64{0, 0.25},
+	}
+	s, err := NewSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := s.Cells()
+	if want := 2 * 2 * 2 * 3; len(cells) != want {
+		t.Fatalf("expanded %d cells, want %d", len(cells), want)
+	}
+	seeds := map[uint64]string{}
+	groups := map[int]int{}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d has Index %d", i, c.Index)
+		}
+		if prev, dup := seeds[c.Seed]; dup {
+			t.Errorf("cells %s and %s share seed %d", prev, c.Name(), c.Seed)
+		}
+		seeds[c.Seed] = c.Name()
+		groups[c.Group]++
+	}
+	if len(groups) != 8 {
+		t.Errorf("got %d groups, want 8", len(groups))
+	}
+	for g, n := range groups {
+		if n != 3 {
+			t.Errorf("group %d has %d replicas, want 3", g, n)
+		}
+	}
+	// Replicas vary only the seed within a group.
+	if cells[0].GroupName() != cells[1].GroupName() {
+		t.Errorf("replica group names differ: %q vs %q",
+			cells[0].GroupName(), cells[1].GroupName())
+	}
+	if cells[0].Name() == cells[1].Name() {
+		t.Errorf("replica cell names collide: %q", cells[0].Name())
+	}
+}
+
+func TestSweepRejectsDuplicateGridPoints(t *testing.T) {
+	// Cell names become output paths, so duplicated axis values must be
+	// an expansion error, not two cells racing on one trace file.
+	for name, spec := range map[string]SweepSpec{
+		"dataset":    {Datasets: []Dataset{RONnarrow, RONnarrow}, Days: sweepDays},
+		"hysteresis": {Datasets: []Dataset{RONnarrow}, Days: sweepDays, Hysteresis: []float64{0.25, 0.25}},
+		"profile":    {Datasets: []Dataset{RONnarrow}, Days: sweepDays, Profiles: []ProfileVariant{{}, {}}},
+	} {
+		if _, err := NewSweep(spec); err == nil {
+			t.Errorf("%s: NewSweep accepted a duplicated axis value", name)
+		}
+	}
+}
+
+func TestSweepSeedsStableAcrossGridGrowth(t *testing.T) {
+	small := SweepSpec{Datasets: []Dataset{RONnarrow}, Days: sweepDays,
+		BaseSeed: 1, Replicas: 2}
+	big := small
+	big.Replicas = 5
+	big.Hysteresis = []float64{0, 0.5}
+	sSmall, err := NewSweep(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBig, err := NewSweep(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The small grid's cells keep their seeds inside the bigger grid:
+	// seeds derive from coordinates, not the flat index.
+	bigSeeds := map[string]uint64{}
+	for _, c := range sBig.Cells() {
+		bigSeeds[c.Name()] = c.Seed
+	}
+	for _, c := range sSmall.Cells() {
+		if got, ok := bigSeeds[c.Name()]; !ok || got != c.Seed {
+			t.Errorf("cell %s: seed %d in small grid, %d (present=%v) in big",
+				c.Name(), c.Seed, got, ok)
+		}
+	}
+}
+
+// renderGroup renders a merged grid point exactly as ronsim writes it,
+// so byte comparison covers the full merged-table surface.
+func renderGroup(g *GroupResult) string {
+	return analysis.RenderTable5(g.Merged.Table5Rows(), g.Merged.LatencyLabel()) +
+		analysis.RenderTable6(g.Merged.Agg.HighLossHours())
+}
+
+// TestSweepDeterminismAcrossParallelism is the regression test for the
+// sweep engine's core contract: the merged tables are byte-identical
+// whether cells run serially or across a worker pool.
+func TestSweepDeterminismAcrossParallelism(t *testing.T) {
+	spec := SweepSpec{
+		Datasets:   []Dataset{RONnarrow},
+		Days:       sweepDays,
+		BaseSeed:   42,
+		Replicas:   4,
+		Hysteresis: []float64{0, 0.25},
+	}
+	serial := spec
+	serial.Parallel = 1
+	parallel := spec
+	parallel.Parallel = 4
+
+	rs, err := RunSweep(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := RunSweep(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Groups) != len(rp.Groups) {
+		t.Fatalf("group counts differ: %d vs %d", len(rs.Groups), len(rp.Groups))
+	}
+	for g := range rs.Groups {
+		ser, par := renderGroup(&rs.Groups[g]), renderGroup(&rp.Groups[g])
+		if ser != par {
+			t.Errorf("group %s: merged tables differ between -parallel=1 and -parallel=4\nserial:\n%s\nparallel:\n%s",
+				rs.Groups[g].Name(), ser, par)
+		}
+	}
+}
+
+func TestSweepMergedMatchesCellSums(t *testing.T) {
+	res, err := RunSweep(SweepSpec{
+		Datasets: []Dataset{RONnarrow},
+		Days:     sweepDays,
+		BaseSeed: 3,
+		Replicas: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("got %d groups, want 1", len(res.Groups))
+	}
+	g := &res.Groups[0]
+	var ron, meas, changes, probes, mergedProbes int64
+	for _, c := range g.Cells {
+		ron += c.Res.RONProbes
+		meas += c.Res.MeasureProbes
+		changes += c.Res.RouteChanges
+		for m := range c.Res.Agg.Methods() {
+			probes += c.Res.Agg.Totals(m).Probes
+		}
+	}
+	if g.Merged.RONProbes != ron || g.Merged.MeasureProbes != meas ||
+		g.Merged.RouteChanges != changes {
+		t.Errorf("merged counters (%d,%d,%d) != cell sums (%d,%d,%d)",
+			g.Merged.RONProbes, g.Merged.MeasureProbes, g.Merged.RouteChanges,
+			ron, meas, changes)
+	}
+	for m := range g.Merged.Agg.Methods() {
+		mergedProbes += g.Merged.Agg.Totals(m).Probes
+	}
+	if mergedProbes != probes {
+		t.Errorf("merged aggregator has %d probes, cells total %d",
+			mergedProbes, probes)
+	}
+	// Replicas with different seeds are genuinely different campaigns.
+	if g.Cells[0].Res.MeasureProbes == g.Cells[1].Res.MeasureProbes &&
+		g.Cells[0].Res.RouteChanges == g.Cells[1].Res.RouteChanges {
+		t.Errorf("replicas 0 and 1 look identical; seed derivation suspect")
+	}
+}
+
+func TestSweepConfigureHook(t *testing.T) {
+	var seen []string
+	spec := SweepSpec{
+		Datasets: []Dataset{RONnarrow},
+		Days:     sweepDays,
+		Replicas: 2,
+		Configure: func(c Cell, cfg *Config) {
+			seen = append(seen, c.Name())
+			if cfg.Seed != c.Seed {
+				t.Errorf("cell %s: cfg seed %d != cell seed %d",
+					c.Name(), cfg.Seed, c.Seed)
+			}
+		},
+	}
+	if _, err := NewSweep(spec); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("Configure ran %d times, want 2", len(seen))
+	}
+	// Invalid configs surface at expansion time with the cell name.
+	spec.Configure = func(c Cell, cfg *Config) { cfg.ProbeInterval = 0 }
+	if _, err := NewSweep(spec); err == nil {
+		t.Error("NewSweep accepted a Configure that broke the config")
+	}
+}
+
+func TestSweepManifestRoundTrip(t *testing.T) {
+	res, err := RunSweep(SweepSpec{
+		Datasets: []Dataset{RONnarrow},
+		Days:     sweepDays,
+		BaseSeed: 9,
+		Replicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Manifest(func(c Cell) string {
+		return filepath.Join("traces", c.Name()+".trc")
+	})
+	dir := t.TempDir()
+	if err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Groups) != 1 {
+		t.Fatalf("manifest has %d groups, want 1", len(got.Groups))
+	}
+	g := got.Groups[0]
+	if g.Dataset != "RONnarrow" || g.Hosts != 17 || len(g.Methods) == 0 {
+		t.Errorf("manifest group = %+v", g)
+	}
+	if len(g.Cells) != 2 || g.Cells[0].Trace == "" ||
+		g.Cells[0].Seed != res.Cells[0].Cell.Seed {
+		t.Errorf("manifest cells = %+v", g.Cells)
+	}
+	// Unsupported versions are rejected.
+	bad := *got
+	bad.Version = 99
+	if err := bad.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Error("ReadManifest accepted version 99")
+	}
+	if err := os.Remove(filepath.Join(dir, ManifestName)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Error("ReadManifest succeeded with no manifest present")
+	}
+}

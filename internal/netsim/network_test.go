@@ -107,6 +107,9 @@ func TestIndirectBaseLatencyTriangle(t *testing.T) {
 }
 
 func TestAccessOutageKillsAllRoutes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fast-forwards days of virtual time to find an outage")
+	}
 	// When a destination's access component is down, both the direct
 	// path and every indirect path must fail: this is the shared-fate
 	// property (§2.4) that bounds multi-path routing.

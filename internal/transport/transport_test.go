@@ -206,6 +206,9 @@ func TestUDPBadRoster(t *testing.T) {
 }
 
 func TestSimImpairmentShapesTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs enough packets to see loss and latency shaping")
+	}
 	tb := topo.RON2002()
 	prof := netsim.DefaultProfile()
 	prof.LossScale = 200 // make loss visible quickly
