@@ -9,17 +9,22 @@
 //	ronreport -hosts 30 -methods "loss,direct rand,lat loss" node0.trc node1.trc ...
 //
 // With -sweep, ronreport instead reads a ronsim sweep output directory
-// (its sweep.json manifest plus the per-cell trace files recorded with
-// ronsim -sweep -trace), rebuilds one aggregator per replicate, and
-// combines each grid point's replicas via aggregator merging:
+// (its sweep.json manifest) and combines each grid point's replicas via
+// aggregator merging. Cells with persisted snapshots (written by every
+// ronsim -sweep -out run) are restored exactly; cells with only trace
+// files are rebuilt through the §4.1 matching pipeline. Grid points with
+// neither — e.g. shards still running on another machine — are reported
+// as missing:
 //
 //	ronsim -sweep -replicas 4 -out results/ -trace results/traces
 //	ronreport -sweep results/
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -96,9 +101,13 @@ func aggregateTraces(names []string, hosts int, paths []string) (agg *analysis.A
 	return agg, records, len(logSets), len(obs), nil
 }
 
-// reportSweep rebuilds each sweep grid point from its replicate traces
-// and prints the combined tables, mirroring what ronsim's in-process
-// merge produced.
+// reportSweep rebuilds each sweep grid point from its replicate
+// artifacts and prints the combined tables, mirroring what ronsim's
+// in-process merge produced. Per cell it prefers the persisted snapshot
+// (exact aggregator state), falls back to the trace file (rebuilt
+// through send/receive matching), and otherwise counts the cell as
+// missing — the normal state of a sharded sweep whose other shards have
+// not been copied in yet.
 func reportSweep(dir string) error {
 	m, err := core.ReadManifest(dir)
 	if err != nil {
@@ -106,41 +115,77 @@ func reportSweep(dir string) error {
 	}
 	fmt.Printf("sweep manifest: %d grid points\n\n", len(m.Groups))
 	reported := 0
+	resolve := func(rel string) string {
+		if filepath.IsAbs(rel) {
+			return rel
+		}
+		return filepath.Join(dir, rel)
+	}
 	for _, g := range m.Groups {
 		var combined *analysis.Aggregator
-		cells := 0
-		for _, c := range g.Cells {
-			if c.Trace == "" {
-				continue
-			}
-			path := c.Trace
-			if !filepath.IsAbs(path) {
-				path = filepath.Join(dir, path)
-			}
-			agg, _, _, _, err := aggregateTraces(g.Methods, g.Hosts, []string{path})
-			if err != nil {
-				return fmt.Errorf("cell %s: %w", c.Name, err)
-			}
-			cells++
+		fromSnap, fromTrace := 0, 0
+		var missing []string
+		merge := func(agg *analysis.Aggregator, name string) error {
 			if combined == nil {
 				combined = agg
-				continue
+				return nil
 			}
 			if err := combined.Merge(agg); err != nil {
-				return fmt.Errorf("cell %s: %w", c.Name, err)
+				return fmt.Errorf("cell %s: %w", name, err)
 			}
+			return nil
+		}
+		for _, c := range g.Cells {
+			if c.Snapshot != "" {
+				snap, err := core.ReadManifestCellSnapshot(dir, c)
+				switch {
+				case err == nil:
+					if err := merge(snap.Aggregator(), c.Name); err != nil {
+						return err
+					}
+					fromSnap++
+					continue
+				case errors.Is(err, core.ErrSnapshotMismatch):
+					// Debris from a rerun with another seed. The cell's
+					// trace file shares that run's provenance (traces
+					// carry no seed to check), so falling back would
+					// silently mix grids; count the cell as missing.
+					fmt.Printf("(cell %s: %v; not trusting its trace either)\n", c.Name, err)
+					missing = append(missing, c.Name)
+					continue
+				case !errors.Is(err, fs.ErrNotExist):
+					fmt.Printf("(cell %s: unreadable snapshot: %v; falling back to trace)\n",
+						c.Name, err)
+				}
+			}
+			if c.Trace != "" {
+				agg, _, _, _, err := aggregateTraces(g.Methods, g.Hosts, []string{resolve(c.Trace)})
+				if err != nil {
+					return fmt.Errorf("cell %s: %w", c.Name, err)
+				}
+				if err := merge(agg, c.Name); err != nil {
+					return err
+				}
+				fromTrace++
+				continue
+			}
+			missing = append(missing, c.Name)
 		}
 		if combined == nil {
-			fmt.Printf("=== %s: no traces recorded (rerun ronsim -sweep with -trace) ===\n\n", g.Name)
+			fmt.Printf("=== %s: no snapshots or traces found (run the shard, or rerun ronsim -sweep with -out/-trace) ===\n\n", g.Name)
 			continue
 		}
 		reported++
-		fmt.Printf("=== %s: %s, %d hosts, %d traced replicas combined ===\n",
-			g.Name, g.Dataset, g.Hosts, cells)
+		src := fmt.Sprintf("%d from snapshots, %d from traces", fromSnap, fromTrace)
+		if len(missing) > 0 {
+			src += fmt.Sprintf("; MISSING %s", strings.Join(missing, ", "))
+		}
+		fmt.Printf("=== %s: %s, %d hosts, %d replicas combined (%s) ===\n",
+			g.Name, g.Dataset, g.Hosts, fromSnap+fromTrace, src)
 		printTables(combined)
 	}
 	if reported == 0 {
-		return fmt.Errorf("no grid point had traces under %s", dir)
+		return fmt.Errorf("no grid point had snapshots or traces under %s", dir)
 	}
 	return nil
 }

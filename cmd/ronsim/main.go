@@ -9,16 +9,34 @@
 //	ronsim -all -days 1
 //
 // Sweep mode expands a grid of campaigns — datasets × profile overrides ×
-// hysteresis settings × seed replicas — runs the cells over a worker
-// pool, and merges each grid point's replicas into one set of tables:
+// hysteresis settings × probe intervals × loss windows × seed replicas —
+// runs the cells over a worker pool, and merges each grid point's
+// replicas into one set of tables:
 //
 //	ronsim -sweep -replicas 8 -parallel 0 -days 0.5 -out results/
 //	ronsim -sweep -all -hysteresis 0,0.25 -lossscale 1,4 -replicas 4
+//	ronsim -sweep -probeinterval 0,30s -losswindow 0,50 -out results/
+//
+// Sweeps are distributable and resumable. -cells restricts a run to a
+// shard of the grid (names, globs, indices, or index ranges); because
+// per-cell seeds derive from grid coordinates, disjoint shards run on
+// different machines combine — via -merge-only — into output
+// byte-identical to a single-machine run. Every cell persists a
+// checksummed snapshot of its aggregator state under -out, so -resume
+// skips completed cells after a kill and -extend reuses them when the
+// grid grows along new axes:
+//
+//	ronsim -sweep -replicas 4 -out results/ -cells '*-r00,*-r01'   # machine A
+//	ronsim -sweep -replicas 4 -out results/ -cells '*-r02,*-r03'   # machine B
+//	ronsim -sweep -replicas 4 -out results/ -merge-only            # coordinator
+//	ronsim -sweep -replicas 4 -out results/ -resume                # after a kill
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -50,29 +68,58 @@ func main() {
 		hysteresis = flag.String("hysteresis", "0", "sweep: comma-separated hysteresis margins for the grid")
 		lossScale  = flag.String("lossscale", "1", "sweep: comma-separated profile LossScale overrides for the grid")
 		edgeShare  = flag.String("edgeshare", "1", "sweep: comma-separated profile EdgeShare overrides for the grid")
+		probeInt   = flag.String("probeinterval", "0", "sweep: comma-separated routing-probe intervals (Go durations; 0 = dataset default)")
+		lossWin    = flag.String("losswindow", "0", "sweep: comma-separated selection-window sizes in probes (0 = default)")
+		cells      = flag.String("cells", "", "sweep: run only this shard of the grid (comma-separated cell/group names, globs, indices, or index ranges)")
+		resume     = flag.Bool("resume", false, "sweep: reuse completed cell snapshots found under -out, running only the missing cells")
+		extend     = flag.Bool("extend", false, "sweep: like -resume for a grown grid — reuse every already-computed cell, run only the new ones")
+		mergeOnly  = flag.Bool("merge-only", false, "sweep: skip running; rebuild merged/ under -out from completed cell snapshots and report missing grid points")
 	)
 	flag.Parse()
 
+	if !*sweep {
+		// Sweep-only flags must not silently degrade into a default
+		// single campaign that pollutes a sweep output directory.
+		for name, set := range map[string]bool{
+			"-cells": *cells != "", "-resume": *resume,
+			"-extend": *extend, "-merge-only": *mergeOnly,
+		} {
+			if set {
+				fatal(fmt.Errorf("%s requires -sweep", name))
+			}
+		}
+	}
+
 	if *sweep {
+		if *mergeOnly {
+			if err := runMergeOnly(*outDir); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		datasets := allDatasets
 		if !*all {
-			d, err := parseDataset(*dataset)
+			d, err := core.ParseDataset(*dataset)
 			if err != nil {
 				fatal(err)
 			}
 			datasets = []core.Dataset{d}
 		}
 		if err := runSweep(sweepFlags{
-			datasets:   datasets,
-			days:       *days,
-			seed:       *seed,
-			replicas:   *replicas,
-			parallel:   *parallel,
-			hysteresis: *hysteresis,
-			lossScale:  *lossScale,
-			edgeShare:  *edgeShare,
-			outDir:     *outDir,
-			traceDir:   *traceTo,
+			datasets:      datasets,
+			days:          *days,
+			seed:          *seed,
+			replicas:      *replicas,
+			parallel:      *parallel,
+			hysteresis:    *hysteresis,
+			lossScale:     *lossScale,
+			edgeShare:     *edgeShare,
+			probeInterval: *probeInt,
+			lossWindow:    *lossWin,
+			cells:         *cells,
+			resume:        *resume || *extend,
+			outDir:        *outDir,
+			traceDir:      *traceTo,
 		}); err != nil {
 			fatal(err)
 		}
@@ -88,7 +135,7 @@ func main() {
 		printFigure6(*outDir)
 		return
 	}
-	d, err := parseDataset(*dataset)
+	d, err := core.ParseDataset(*dataset)
 	if err != nil {
 		fatal(err)
 	}
@@ -97,19 +144,6 @@ func main() {
 	}
 	if d == core.RON2003 {
 		printFigure6(*outDir)
-	}
-}
-
-func parseDataset(s string) (core.Dataset, error) {
-	switch strings.ToLower(s) {
-	case "ron2003":
-		return core.RON2003, nil
-	case "ronwide":
-		return core.RONwide, nil
-	case "ronnarrow":
-		return core.RONnarrow, nil
-	default:
-		return 0, fmt.Errorf("unknown dataset %q (want ron2003, ronwide, ronnarrow)", s)
 	}
 }
 
@@ -124,6 +158,61 @@ func parseFloatList(flagName, s string) ([]float64, error) {
 		v, err := strconv.ParseFloat(part, 64)
 		if err != nil {
 			return nil, fmt.Errorf("-%s: bad value %q: %w", flagName, part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s: empty list", flagName)
+	}
+	return out, nil
+}
+
+// parseDurationList parses a comma-separated list of Go durations
+// ("0,30s,2m"). Zero entries are allowed (they select the default);
+// negative ones are not.
+func parseDurationList(flagName, s string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		// Bare "0" is a valid "use the default" entry even though
+		// time.ParseDuration wants a unit.
+		if part == "0" {
+			out = append(out, 0)
+			continue
+		}
+		v, err := time.ParseDuration(part)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: bad duration %q: %w", flagName, part, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("-%s: duration %v must be >= 0", flagName, v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s: empty list", flagName)
+	}
+	return out, nil
+}
+
+// parseIntList parses a comma-separated list of non-negative integers
+// ("0,50,200"); zero selects the default.
+func parseIntList(flagName, s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: bad value %q: %w", flagName, part, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("-%s: value %d must be >= 0", flagName, v)
 		}
 		out = append(out, v)
 	}
@@ -174,19 +263,25 @@ func profileVariants(lossScales, edgeShares []float64) []core.ProfileVariant {
 }
 
 type sweepFlags struct {
-	datasets             []core.Dataset
-	days                 float64
-	seed                 uint64
-	replicas, parallel   int
-	hysteresis           string
-	lossScale, edgeShare string
-	outDir, traceDir     string
+	datasets                  []core.Dataset
+	days                      float64
+	seed                      uint64
+	replicas, parallel        int
+	hysteresis                string
+	lossScale, edgeShare      string
+	probeInterval, lossWindow string
+	cells                     string
+	resume                    bool
+	outDir, traceDir          string
 }
 
 // runSweep expands, runs, and reports a sweep: per-cell progress lines as
-// cells finish, one merged report per grid point, and — under -out —
-// per-cell and merged output directories plus a sweep.json manifest that
-// ronreport -sweep consumes.
+// cells finish, one merged report per complete grid point, and — under
+// -out — per-cell and merged output directories, a checksummed snapshot
+// of every finished cell, and a sweep.json manifest that -merge-only and
+// ronreport -sweep consume. With -cells only the matching shard runs;
+// with -resume/-extend, cells whose snapshot already exists are reused
+// instead of recomputed.
 func runSweep(f sweepFlags) error {
 	hyst, err := parseFloatList("hysteresis", f.hysteresis)
 	if err != nil {
@@ -200,30 +295,80 @@ func runSweep(f sweepFlags) error {
 	if err != nil {
 		return err
 	}
+	intervals, err := parseDurationList("probeinterval", f.probeInterval)
+	if err != nil {
+		return err
+	}
+	windows, err := parseIntList("losswindow", f.lossWindow)
+	if err != nil {
+		return err
+	}
 
 	spec := core.SweepSpec{
-		Datasets:   f.datasets,
-		Days:       f.days,
-		BaseSeed:   f.seed,
-		Replicas:   f.replicas,
-		Profiles:   profileVariants(ls, es),
-		Hysteresis: hyst,
-		Parallel:   f.parallel,
+		Datasets:       f.datasets,
+		Days:           f.days,
+		BaseSeed:       f.seed,
+		Replicas:       f.replicas,
+		Profiles:       profileVariants(ls, es),
+		Hysteresis:     hyst,
+		ProbeIntervals: intervals,
+		LossWindows:    windows,
+		Parallel:       f.parallel,
 	}
 
-	// Per-cell trace writers, installed serially via the Configure hook
-	// and flushed after the run. Hook failures are stashed rather than
-	// exiting, so already-opened writers still get closed.
+	var filter *core.CellFilter
+	if f.cells != "" {
+		filter, err = core.ParseCellFilter(f.cells)
+		if err != nil {
+			return err
+		}
+		spec.Filter = filter.Match
+	}
+
+	if f.resume {
+		if f.outDir == "" {
+			return errors.New("-resume/-extend need -out: snapshots live under the output directory")
+		}
+		spec.Reuse = func(c core.Cell, cfg core.Config) (*core.Result, bool) {
+			snap, err := core.ReadCellSnapshot(core.CellSnapshotPath(f.outDir, c.Name()))
+			if err != nil {
+				if !errors.Is(err, fs.ErrNotExist) {
+					fmt.Printf("cell %s: ignoring unusable snapshot: %v\n", c.Name(), err)
+				}
+				return nil, false
+			}
+			res, err := snap.Restore(cfg)
+			if err != nil {
+				fmt.Printf("cell %s: snapshot is from a different grid (%v); recomputing\n",
+					c.Name(), err)
+				return nil, false
+			}
+			return res, true
+		}
+	}
+
+	// Per-cell trace writers. The Configure hook (serial, at expansion)
+	// only records the intended path; the file is opened lazily on the
+	// first record, so skipped shard cells and snapshot-reused cells
+	// never clobber trace files written by an earlier or remote run.
+	// Each sink touches only its own cellTrace, so no locking is needed
+	// even though sinks run on worker goroutines.
 	type cellTrace struct {
+		path string
 		file *os.File
 		w    *trace.Writer
-		path string
+		err  error
 	}
 	traces := map[int]*cellTrace{}
-	var traceErr error
 	closeTraces := func() error {
 		var first error
 		for _, ct := range traces {
+			if ct.err != nil && first == nil {
+				first = fmt.Errorf("trace %s: %w", ct.path, ct.err)
+			}
+			if ct.w == nil {
+				continue
+			}
 			if err := ct.w.Flush(); err != nil && first == nil {
 				first = err
 			}
@@ -237,39 +382,62 @@ func runSweep(f sweepFlags) error {
 		if err := os.MkdirAll(f.traceDir, 0o755); err != nil {
 			return err
 		}
+		// Trace files open lazily (so shards and resumes never clobber
+		// other runs' files), which would defer an unwritable-directory
+		// error until after hours of compute; probe writability now.
+		probe, err := os.CreateTemp(f.traceDir, ".writable*")
+		if err != nil {
+			return fmt.Errorf("-trace directory is not writable: %w", err)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
 		spec.Configure = func(c core.Cell, cfg *core.Config) {
-			if traceErr != nil {
-				return
+			ct := &cellTrace{path: filepath.Join(f.traceDir, c.Name()+".trc")}
+			traces[c.Index] = ct
+			cfg.TraceSink = func(r trace.Record) {
+				if ct.err != nil {
+					return
+				}
+				if ct.w == nil {
+					ct.file, ct.err = os.Create(ct.path)
+					if ct.err != nil {
+						return
+					}
+					ct.w, ct.err = trace.NewWriter(ct.file)
+					if ct.err != nil {
+						return
+					}
+				}
+				ct.err = ct.w.Append(r)
 			}
-			path := filepath.Join(f.traceDir, c.Name()+".trc")
-			file, err := os.Create(path)
-			if err != nil {
-				traceErr = err
-				return
-			}
-			w, err := trace.NewWriter(file)
-			if err != nil {
-				traceErr = err
-				file.Close()
-				return
-			}
-			traces[c.Index] = &cellTrace{file: file, w: w, path: path}
-			cfg.TraceSink = func(r trace.Record) { _ = w.Append(r) }
 		}
 	}
 
 	var total int
 	done := 0
+	var snapErr error
 	spec.Progress = func(r core.CellResult) {
 		done++
 		status := fmt.Sprintf("wall %5.1fs", r.Wall.Seconds())
-		if r.Err != nil {
+		switch {
+		case r.Err != nil:
 			status = "FAILED: " + r.Err.Error()
-		} else {
+		case r.Cached:
+			status = fmt.Sprintf("reused snapshot  probes %d", r.Res.MeasureProbes)
+		default:
 			status += fmt.Sprintf("  probes %d", r.Res.MeasureProbes)
 		}
 		fmt.Printf("[%3d/%3d] cell %-36s seed %-20d %s\n",
 			done, total, r.Cell.Name(), r.Cell.Seed, status)
+		// Persist finished cells immediately so a killed sweep keeps
+		// everything it completed; reused cells already have their file.
+		if f.outDir != "" && r.Err == nil && !r.Cached {
+			snap := core.NewCellSnapshot(r.Cell, r.Res)
+			path := core.CellSnapshotPath(f.outDir, r.Cell.Name())
+			if err := snap.WriteFile(path); err != nil && snapErr == nil {
+				snapErr = err
+			}
+		}
 	}
 
 	s, err := core.NewSweep(spec)
@@ -277,13 +445,24 @@ func runSweep(f sweepFlags) error {
 		closeTraces()
 		return err
 	}
-	if traceErr != nil {
-		closeTraces()
-		return traceErr
+	if filter != nil {
+		if err := filter.Validate(s.Cells()); err != nil {
+			closeTraces()
+			return err
+		}
 	}
-	total = len(s.Cells())
-	fmt.Printf("=== sweep: %d cells (%.2f virtual days each), base seed %d ===\n",
-		total, f.days, f.seed)
+	total = 0
+	for _, c := range s.Cells() {
+		if spec.Filter == nil || spec.Filter(c) {
+			total++
+		}
+	}
+	shard := ""
+	if filter != nil {
+		shard = fmt.Sprintf(" [shard -cells %s: %d of %d]", filter, total, len(s.Cells()))
+	}
+	fmt.Printf("=== sweep: %d cells (%.2f virtual days each), base seed %d%s ===\n",
+		total, f.days, f.seed, shard)
 
 	res, err := s.Run()
 	closeErr := closeTraces()
@@ -293,37 +472,67 @@ func runSweep(f sweepFlags) error {
 	if closeErr != nil {
 		return closeErr
 	}
-	fmt.Printf("\nsweep finished in %.1fs on %d workers\n\n",
-		res.Wall.Seconds(), res.Parallel)
+	if snapErr != nil {
+		return snapErr
+	}
+	fmt.Printf("\nsweep finished in %.1fs on %d workers (%d cells reused)\n\n",
+		res.Wall.Seconds(), res.Parallel, res.Reused)
 
+	incomplete := 0
 	for gi := range res.Groups {
 		g := &res.Groups[gi]
+		if !g.Complete() {
+			incomplete++
+			var missing []string
+			for _, c := range g.Cells {
+				if c.Res == nil {
+					missing = append(missing, c.Cell.Name())
+				}
+			}
+			fmt.Printf("=== %s: incomplete (missing %s) ===\n",
+				g.Name(), strings.Join(missing, ", "))
+			continue
+		}
 		fmt.Printf("=== merged %s: %d replicas ===\n%s\n",
 			g.Name(), len(g.Cells), g.Merged.Report())
 	}
+	if incomplete > 0 {
+		fmt.Printf("%d grid points are incomplete; run the remaining shards against the same spec, combine the %s/ directories, then `ronsim -sweep -merge-only -out ...`\n",
+			incomplete, core.CellsDirName)
+	}
 
 	if f.outDir != "" {
+		wroteCells, wroteMerged := 0, 0
 		for i := range res.Cells {
 			c := &res.Cells[i]
-			dir := filepath.Join(f.outDir, "cells", c.Cell.Name())
+			if c.Res == nil {
+				continue
+			}
+			dir := filepath.Join(f.outDir, core.CellsDirName, c.Cell.Name())
 			if err := writeFigures(dir, c.Cell.Dataset, c.Res); err != nil {
 				return err
 			}
+			wroteCells++
 		}
 		for gi := range res.Groups {
 			g := &res.Groups[gi]
-			dir := filepath.Join(f.outDir, "merged", g.Name())
+			if !g.Complete() {
+				continue
+			}
+			dir := filepath.Join(f.outDir, core.MergedDirName, g.Name())
 			if err := writeFigures(dir, g.Dataset, g.Merged); err != nil {
 				return err
 			}
+			wroteMerged++
 		}
 		fmt.Printf("wrote %d cell and %d merged output directories under %s\n",
-			len(res.Cells), len(res.Groups), f.outDir)
+			wroteCells, wroteMerged, f.outDir)
 	}
 
 	// The manifest lands next to the figure output, or next to the
-	// traces when -out was omitted, so ronreport -sweep always has a
-	// directory to read.
+	// traces when -out was omitted, so merge-only mode and ronreport
+	// -sweep always have a directory to read. It covers the FULL grid,
+	// so a shard's manifest lets the coordinator see what is missing.
 	manifestDir := f.outDir
 	if manifestDir == "" {
 		manifestDir = f.traceDir
@@ -331,17 +540,124 @@ func runSweep(f sweepFlags) error {
 	if manifestDir == "" {
 		return nil
 	}
+	var snapPath func(core.Cell) string
+	if f.outDir != "" {
+		snapPath = func(c core.Cell) string { return core.CellSnapshotRelPath(c.Name()) }
+	}
 	m := res.Manifest(func(c core.Cell) string {
 		ct, ok := traces[c.Index]
 		if !ok {
 			return ""
 		}
+		// Record the trace when this run wrote it OR an earlier run
+		// (another shard, a resumed sweep) left it on disk — the
+		// rewritten manifest must not blank paths to intact files.
+		if ct.w == nil {
+			if _, err := os.Stat(ct.path); err != nil {
+				return ""
+			}
+		}
 		return manifestTracePath(manifestDir, ct.path)
-	})
+	}, snapPath)
+	// A rerun without -trace (e.g. -resume) or without -out knows
+	// nothing about artifacts recorded by the manifest it is about to
+	// replace; carry forward prior paths for the same cell (seed-checked
+	// so a stale manifest from a different grid cannot leak in).
+	if prior, err := core.ReadManifest(manifestDir); err == nil {
+		keep := map[string]core.ManifestCell{}
+		for _, g := range prior.Groups {
+			for _, c := range g.Cells {
+				keep[c.Name] = c
+			}
+		}
+		for gi := range m.Groups {
+			for ci := range m.Groups[gi].Cells {
+				mc := &m.Groups[gi].Cells[ci]
+				if p, ok := keep[mc.Name]; ok && p.Seed == mc.Seed {
+					if mc.Trace == "" {
+						mc.Trace = p.Trace
+					}
+					if mc.Snapshot == "" {
+						mc.Snapshot = p.Snapshot
+					}
+				}
+			}
+		}
+	}
 	if err := m.Write(manifestDir); err != nil {
 		return err
 	}
 	fmt.Printf("wrote manifest %s\n", filepath.Join(manifestDir, core.ManifestName))
+	return nil
+}
+
+// runMergeOnly rebuilds merged/ from whatever completed cell snapshots
+// exist under dir — its own run's, a resumed run's, or shards copied in
+// from other machines — and reports the grid points still missing
+// cells. Rebuilt tables are byte-identical to a single-machine sweep
+// because the snapshots round-trip aggregator state exactly and
+// replicas merge in the same order.
+func runMergeOnly(dir string) error {
+	if dir == "" {
+		return errors.New("-merge-only needs -out pointing at a sweep output directory")
+	}
+	m, err := core.ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("merge-only: %d grid points in %s\n\n",
+		len(m.Groups), filepath.Join(dir, core.ManifestName))
+	merged := 0
+	var incomplete []string
+	for _, g := range m.Groups {
+		var results []*core.Result
+		var missing []string
+		for _, c := range g.Cells {
+			snap, err := core.ReadManifestCellSnapshot(dir, c)
+			if err != nil {
+				if errors.Is(err, fs.ErrNotExist) {
+					missing = append(missing, c.Name)
+				} else {
+					missing = append(missing, fmt.Sprintf("%s (%v)", c.Name, err))
+				}
+				continue
+			}
+			res, err := snap.RestoreStandalone()
+			if err != nil {
+				missing = append(missing, fmt.Sprintf("%s (%v)", c.Name, err))
+				continue
+			}
+			results = append(results, res)
+		}
+		if len(missing) > 0 {
+			incomplete = append(incomplete, g.Name)
+			fmt.Printf("=== %s: MISSING %d/%d cells: %s ===\n\n",
+				g.Name, len(missing), len(g.Cells), strings.Join(missing, ", "))
+			continue
+		}
+		mergedRes, err := core.MergeResults(results)
+		if err != nil {
+			return fmt.Errorf("group %s: %w", g.Name, err)
+		}
+		d, err := core.ParseDataset(g.Dataset)
+		if err != nil {
+			return fmt.Errorf("group %s: %w", g.Name, err)
+		}
+		if err := writeFigures(filepath.Join(dir, core.MergedDirName, g.Name), d, mergedRes); err != nil {
+			return err
+		}
+		merged++
+		fmt.Printf("=== merged %s: %d replicas from snapshots ===\n%s\n",
+			g.Name, len(results), mergedRes.Report())
+	}
+	fmt.Printf("merge-only: rebuilt %d/%d merged grid points under %s\n",
+		merged, len(m.Groups), filepath.Join(dir, core.MergedDirName))
+	if len(incomplete) > 0 {
+		fmt.Printf("missing grid points: %s\n", strings.Join(incomplete, ", "))
+	}
+	if merged == 0 {
+		return errors.New("no grid point had a complete set of cell snapshots")
+	}
 	return nil
 }
 

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
 
 func TestParseFloatList(t *testing.T) {
 	got, err := parseFloatList("lossscale", "1, 4,8")
@@ -38,13 +45,229 @@ func TestParseDataset(t *testing.T) {
 		"RONnarrow": true, "bogus": false, "": false,
 	}
 	for in, ok := range cases {
-		_, err := parseDataset(in)
+		_, err := core.ParseDataset(in)
 		if ok && err != nil {
-			t.Errorf("parseDataset(%q) failed: %v", in, err)
+			t.Errorf("ParseDataset(%q) failed: %v", in, err)
 		}
 		if !ok && err == nil {
-			t.Errorf("parseDataset(%q) accepted", in)
+			t.Errorf("ParseDataset(%q) accepted", in)
 		}
+	}
+}
+
+func TestParseDurationList(t *testing.T) {
+	got, err := parseDurationList("probeinterval", "0, 30s,2m")
+	if err != nil || len(got) != 3 || got[0] != 0 ||
+		got[1] != 30*time.Second || got[2] != 2*time.Minute {
+		t.Errorf("parseDurationList = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "30", "bogus", "-5s"} {
+		if _, err := parseDurationList("probeinterval", bad); err == nil {
+			t.Errorf("parseDurationList accepted %q", bad)
+		}
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := parseIntList("losswindow", "0,50, 200")
+	if err != nil || len(got) != 3 || got[0] != 0 || got[1] != 50 || got[2] != 200 {
+		t.Errorf("parseIntList = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "1.5", "-1"} {
+		if _, err := parseIntList("losswindow", bad); err == nil {
+			t.Errorf("parseIntList accepted %q", bad)
+		}
+	}
+}
+
+// testSweepFlags is the tiny grid the CLI integration tests run: one
+// dataset, two hysteresis grid points, two replicas each.
+func testSweepFlags(outDir string) sweepFlags {
+	return sweepFlags{
+		datasets:      []core.Dataset{core.RONnarrow},
+		days:          0.01,
+		seed:          5,
+		replicas:      2,
+		parallel:      2,
+		hysteresis:    "0,0.25",
+		lossScale:     "1",
+		edgeShare:     "1",
+		probeInterval: "0",
+		lossWindow:    "0",
+		outDir:        outDir,
+	}
+}
+
+// readTree returns path → contents for every file under dir.
+func readTree(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		out[rel] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func diffTrees(t *testing.T, label string, want, got map[string]string) {
+	t.Helper()
+	for path := range want {
+		if _, ok := got[path]; !ok {
+			t.Errorf("%s: missing file %s", label, path)
+		} else if want[path] != got[path] {
+			t.Errorf("%s: file %s differs", label, path)
+		}
+	}
+	for path := range got {
+		if _, ok := want[path]; !ok {
+			t.Errorf("%s: unexpected file %s", label, path)
+		}
+	}
+}
+
+// TestShardMergeOnlyMatchesSingleRun drives the full CLI workflow the
+// README documents: one unsharded run; the same grid as two disjoint
+// -cells shards into a second directory; -merge-only to rebuild
+// merged/. Every merged table and figure must be byte-identical, and
+// the per-cell artifacts (snapshots included) must match too.
+func TestShardMergeOnlyMatchesSingleRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several sweep campaigns")
+	}
+	single, sharded := t.TempDir(), t.TempDir()
+	if err := runSweep(testSweepFlags(single)); err != nil {
+		t.Fatal(err)
+	}
+	for _, shard := range []string{"*-r00", "*-r01"} {
+		f := testSweepFlags(sharded)
+		f.cells = shard
+		if err := runSweep(f); err != nil {
+			t.Fatalf("shard %s: %v", shard, err)
+		}
+	}
+	if err := runMergeOnly(sharded); err != nil {
+		t.Fatal(err)
+	}
+	diffTrees(t, "merged",
+		readTree(t, filepath.Join(single, core.MergedDirName)),
+		readTree(t, filepath.Join(sharded, core.MergedDirName)))
+	diffTrees(t, "cells",
+		readTree(t, filepath.Join(single, core.CellsDirName)),
+		readTree(t, filepath.Join(sharded, core.CellsDirName)))
+}
+
+// TestMergeOnlyReportsMissingCells: with one shard absent, merge-only
+// must still rebuild the complete grid points and name the missing
+// cells rather than fail or fabricate.
+func TestMergeOnlyReportsMissingCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs sweep campaigns")
+	}
+	dir := t.TempDir()
+	f := testSweepFlags(dir)
+	f.cells = "*-r00,ronnarrow-r01" // everything except ronnarrow-h0.25-r01
+	if err := runSweep(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMergeOnly(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, core.MergedDirName, "ronnarrow")); err != nil {
+		t.Errorf("complete group not merged: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, core.MergedDirName, "ronnarrow-h0.25")); err == nil {
+		t.Error("incomplete group was merged despite a missing cell")
+	}
+	// A corrupted snapshot counts as missing, not as data.
+	snapPath := core.CellSnapshotPath(dir, "ronnarrow-r00")
+	if err := os.WriteFile(snapPath, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(filepath.Join(dir, core.MergedDirName)); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMergeOnly(dir); err == nil {
+		t.Error("merge-only succeeded with no complete grid point")
+	}
+}
+
+// TestResumeCompletesKilledSweep: a partial shard run stands in for a
+// sweep killed midway; -resume must finish the grid reusing the
+// snapshots and end with output identical to an uninterrupted run.
+func TestResumeCompletesKilledSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several sweep campaigns")
+	}
+	clean, killed := t.TempDir(), t.TempDir()
+	if err := runSweep(testSweepFlags(clean)); err != nil {
+		t.Fatal(err)
+	}
+	f := testSweepFlags(killed)
+	f.cells = "*-r00"
+	if err := runSweep(f); err != nil {
+		t.Fatal(err)
+	}
+	f = testSweepFlags(killed)
+	f.resume = true
+	if err := runSweep(f); err != nil {
+		t.Fatal(err)
+	}
+	diffTrees(t, "resumed output", readTree(t, clean), readTree(t, killed))
+}
+
+// TestManifestKeepsPriorArtifactPaths: a rerun that records fewer
+// artifacts (here: -resume without -trace) must not blank the prior
+// manifest's references to trace files that are still on disk.
+func TestManifestKeepsPriorArtifactPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs sweep campaigns")
+	}
+	dir := t.TempDir()
+	f := testSweepFlags(dir)
+	f.traceDir = filepath.Join(dir, "traces")
+	if err := runSweep(f); err != nil {
+		t.Fatal(err)
+	}
+	countTraces := func() int {
+		m, err := core.ReadManifest(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, g := range m.Groups {
+			for _, c := range g.Cells {
+				if c.Trace != "" {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	before := countTraces()
+	if before != 4 {
+		t.Fatalf("traced run recorded %d trace paths, want 4", before)
+	}
+	f = testSweepFlags(dir) // no traceDir this time
+	f.resume = true
+	if err := runSweep(f); err != nil {
+		t.Fatal(err)
+	}
+	if after := countTraces(); after != before {
+		t.Errorf("resume without -trace kept %d/%d manifest trace paths", after, before)
 	}
 }
 

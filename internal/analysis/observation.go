@@ -8,6 +8,12 @@
 // per probe and it maintains constant-size state per (method, path) plus
 // the emitted window samples, so multi-day campaigns with tens of
 // millions of probes fit comfortably in memory.
+//
+// Aggregators compose: Merge folds replicate campaigns together with
+// order-independent query results, and MarshalBinary/UnmarshalAggregator
+// round-trip the complete state bit-exactly (floats as IEEE-754 bits),
+// so distributed sweep shards can persist, ship, and recombine their
+// statistics into tables byte-identical to an in-process run.
 package analysis
 
 import (

@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// aggSnapshotVersion is the version byte leading a serialized aggregator.
+// Bump it on any layout change; UnmarshalAggregator rejects versions it
+// does not know.
+const aggSnapshotVersion = 1
+
+// binWriter accumulates the little-endian snapshot payload.
+type binWriter struct{ buf []byte }
+
+func (w *binWriter) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *binWriter) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *binWriter) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *binWriter) i64(v int64)  { w.u64(uint64(v)) }
+func (w *binWriter) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+func (w *binWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// binReader consumes a snapshot payload, turning overruns into a sticky
+// error instead of panics so truncated inputs fail cleanly.
+type binReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *binReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("analysis: aggregator snapshot truncated at byte %d", r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *binReader) u8() uint8 {
+	if b := r.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (r *binReader) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *binReader) u64() uint64 {
+	if b := r.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (r *binReader) i64() int64     { return int64(r.u64()) }
+func (r *binReader) f64() float64   { return math.Float64frombits(r.u64()) }
+func (r *binReader) str() string    { return string(r.take(int(r.u32()))) }
+func (r *binReader) remaining() int { return len(r.buf) - r.off }
+
+// Hosts returns the mesh size the aggregator was built for.
+func (a *Aggregator) Hosts() int { return a.nHosts }
+
+// MarshalBinary serializes the aggregator's complete statistical state —
+// per-path counters, pooled window samples, high-loss-hour tallies, and
+// diurnal profiles — so a campaign's analysis can be persisted and later
+// merged exactly (float sums round-trip bit-for-bit, so tables rebuilt
+// from snapshots are byte-identical to in-process results).
+//
+// The aggregator is flushed first: in-progress windows contribute their
+// samples and the window machinery resets, exactly as Merge would do.
+// The encoding carries no integrity check of its own; wrap it in a
+// checksummed container (see internal/core's cell snapshots) when
+// writing to disk.
+func (a *Aggregator) MarshalBinary() ([]byte, error) {
+	a.Flush()
+	w := &binWriter{}
+	w.u8(aggSnapshotVersion)
+	w.u32(uint32(len(a.methods)))
+	w.u32(uint32(a.nHosts))
+	for _, m := range a.methods {
+		w.str(m)
+	}
+	for m := range a.methods {
+		for pi := 0; pi < a.nPaths; pi++ {
+			ps := &a.perPath[m][pi]
+			w.i64(ps.probes)
+			w.i64(ps.firstSent)
+			w.i64(ps.firstLost)
+			w.i64(ps.secondSent)
+			w.i64(ps.secondLost)
+			w.i64(ps.bothLost)
+			w.i64(ps.effLost)
+			w.f64(ps.latSumNS)
+			w.i64(ps.latN)
+			w.f64(ps.lat1SumNS)
+			w.i64(ps.lat1N)
+			w.f64(ps.lat2SumNS)
+			w.i64(ps.lat2N)
+		}
+	}
+	for m := range a.methods {
+		samples := a.win20Rates[m].Samples()
+		w.u32(uint32(len(samples)))
+		for _, s := range samples {
+			w.f64(s)
+		}
+	}
+	w.u32(uint32(len(Table6Thresholds)))
+	for m := range a.methods {
+		for _, c := range a.hourCounts[m] {
+			w.i64(c)
+		}
+		w.i64(a.hourPeriods[m])
+	}
+	w.f64(a.hourMaxRate)
+	for m := range a.methods {
+		for h := 0; h < 24; h++ {
+			w.i64(a.hodSent[m][h])
+		}
+		for h := 0; h < 24; h++ {
+			w.i64(a.hodLost[m][h])
+		}
+	}
+	return w.buf, nil
+}
+
+// UnmarshalAggregator rebuilds an aggregator from MarshalBinary output.
+// The result is flushed (no in-progress windows) and ready to query or
+// Merge. Truncated, oversized, or version-mismatched payloads return an
+// error.
+func UnmarshalAggregator(data []byte) (*Aggregator, error) {
+	r := &binReader{buf: data}
+	if v := r.u8(); r.err == nil && v != aggSnapshotVersion {
+		return nil, fmt.Errorf("analysis: unsupported aggregator snapshot version %d (want %d)",
+			v, aggSnapshotVersion)
+	}
+	nm := int(r.u32())
+	nHosts := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nm < 1 || nm > 1<<10 || nHosts < 2 || nHosts > 1<<16 {
+		return nil, fmt.Errorf("analysis: implausible aggregator snapshot header: %d methods, %d hosts", nm, nHosts)
+	}
+	methods := make([]string, nm)
+	for i := range methods {
+		methods[i] = r.str()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	// The per-path section alone needs 13 8-byte fields per (method,
+	// path); refuse implausible headers before NewAggregator allocates
+	// O(methods × hosts²) state for what a corrupt file merely claims.
+	if need := int64(nm) * int64(nHosts) * int64(nHosts) * 104; need > int64(r.remaining()) {
+		return nil, fmt.Errorf("analysis: aggregator snapshot claims %d methods × %d hosts (%d bytes of path stats) with %d bytes left",
+			nm, nHosts, need, r.remaining())
+	}
+	a := NewAggregator(methods, nHosts)
+	for m := 0; m < nm; m++ {
+		for pi := 0; pi < a.nPaths; pi++ {
+			ps := &a.perPath[m][pi]
+			ps.probes = r.i64()
+			ps.firstSent = r.i64()
+			ps.firstLost = r.i64()
+			ps.secondSent = r.i64()
+			ps.secondLost = r.i64()
+			ps.bothLost = r.i64()
+			ps.effLost = r.i64()
+			ps.latSumNS = r.f64()
+			ps.latN = r.i64()
+			ps.lat1SumNS = r.f64()
+			ps.lat1N = r.i64()
+			ps.lat2SumNS = r.f64()
+			ps.lat2N = r.i64()
+		}
+	}
+	for m := 0; m < nm; m++ {
+		n := int(r.u32())
+		if r.err != nil {
+			return nil, r.err
+		}
+		if n < 0 || n*8 > r.remaining() {
+			return nil, fmt.Errorf("analysis: aggregator snapshot claims %d window samples with %d bytes left", n, r.remaining())
+		}
+		for i := 0; i < n; i++ {
+			a.win20Rates[m].Add(r.f64())
+		}
+	}
+	if nt := int(r.u32()); r.err == nil && nt != len(Table6Thresholds) {
+		return nil, fmt.Errorf("analysis: aggregator snapshot has %d Table 6 thresholds, want %d",
+			nt, len(Table6Thresholds))
+	}
+	for m := 0; m < nm; m++ {
+		for i := range a.hourCounts[m] {
+			a.hourCounts[m][i] = r.i64()
+		}
+		a.hourPeriods[m] = r.i64()
+	}
+	a.hourMaxRate = r.f64()
+	for m := 0; m < nm; m++ {
+		for h := 0; h < 24; h++ {
+			a.hodSent[m][h] = r.i64()
+		}
+		for h := 0; h < 24; h++ {
+			a.hodLost[m][h] = r.i64()
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("analysis: %d trailing bytes after aggregator snapshot", r.remaining())
+	}
+	return a, nil
+}

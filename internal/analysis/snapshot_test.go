@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestAggregatorSnapshotRoundTrip checks the serialization contract: an
+// unmarshaled aggregator answers every query identically to the
+// original, and re-marshaling yields identical bytes (the property the
+// sharded-sweep byte-identity guarantee rests on).
+func TestAggregatorSnapshotRoundTrip(t *testing.T) {
+	a := feed(mergeStream(30000, 5))
+	want := queries(a)
+
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UnmarshalAggregator(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := queries(b)
+	for k := range want {
+		if !reflect.DeepEqual(want[k], got[k]) {
+			t.Errorf("query %s differs after round trip", k)
+		}
+	}
+	data2, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("re-marshaling a round-tripped aggregator changed the bytes")
+	}
+}
+
+// TestAggregatorSnapshotFlushesFirst: an in-progress window must
+// contribute its samples to the snapshot, exactly as Merge would flush
+// it.
+func TestAggregatorSnapshotFlushesFirst(t *testing.T) {
+	a := feed(mergeStream(5000, 2))
+	// Don't flush; MarshalBinary must.
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UnmarshalAggregator(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range a.Methods() {
+		if got, want := b.WindowRateCDF(m).N(), a.WindowRateCDF(m).N(); got != want {
+			t.Errorf("method %d: %d window samples after round trip, want %d", m, got, want)
+		}
+		if b.WindowRateCDF(m).N() == 0 {
+			t.Errorf("method %d: no window samples — snapshot did not flush", m)
+		}
+	}
+}
+
+// TestAggregatorSnapshotMergeEquivalence: merging two unmarshaled
+// aggregators must equal merging the originals — the merge-from-
+// snapshots path of a distributed sweep.
+func TestAggregatorSnapshotMergeEquivalence(t *testing.T) {
+	obs := mergeStream(40000, 6)
+	left, right := feed(obs[:20000]), feed(obs[20000:])
+	direct := feed(obs[:20000])
+	if err := direct.Merge(feed(obs[20000:])); err != nil {
+		t.Fatal(err)
+	}
+
+	restore := func(a *Aggregator) *Aggregator {
+		data, err := a.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := UnmarshalAggregator(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	combined := restore(left)
+	if err := combined.Merge(restore(right)); err != nil {
+		t.Fatal(err)
+	}
+	want, got := queries(direct), queries(combined)
+	for k := range want {
+		if !reflect.DeepEqual(want[k], got[k]) {
+			t.Errorf("query %s: merge of snapshots differs from direct merge", k)
+		}
+	}
+}
+
+func TestAggregatorSnapshotRejectsBadInput(t *testing.T) {
+	a := feed(mergeStream(2000, 1))
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := UnmarshalAggregator(nil); err == nil {
+		t.Error("accepted empty input")
+	}
+	if _, err := UnmarshalAggregator(data[:len(data)/2]); err == nil {
+		t.Error("accepted truncated input")
+	}
+	if _, err := UnmarshalAggregator(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Error("accepted trailing junk")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 99 // version byte
+	if _, err := UnmarshalAggregator(bad); err == nil {
+		t.Error("accepted unknown version")
+	}
+	// A huge claimed sample count must fail cleanly, not allocate wildly.
+	huge := append([]byte(nil), data[:9]...) // version + counts header
+	if _, err := UnmarshalAggregator(huge); err == nil {
+		t.Error("accepted header-only input")
+	}
+	// A plausible-looking header claiming a giant mesh must be rejected
+	// before NewAggregator allocates O(hosts²) state for it.
+	w := &binWriter{}
+	w.u8(aggSnapshotVersion)
+	w.u32(1)
+	w.u32(50000)
+	w.str("direct")
+	if _, err := UnmarshalAggregator(w.buf); err == nil {
+		t.Error("accepted a 50000-host header with no payload")
+	}
+}

@@ -2,10 +2,24 @@
 // probe processes (§3.1 RON probing, §4.1 measurement probes) over the
 // simulated substrate, feeds the routing selector and the statistics
 // aggregator, and exposes the results as the paper's tables and figures.
+//
+// Beyond single campaigns (Run), the package provides the sweep engine
+// (SweepSpec, NewSweep, Sweep.Run): deterministic expansion of a
+// multi-axis campaign grid whose per-cell seeds derive from grid
+// coordinates via splitmix64, a worker pool that runs cells in any
+// order without affecting results, and replica merging into per-grid-
+// point tables. Sweeps are distributable and resumable: CellFilter
+// shards a grid across machines, CellSnapshot persists each finished
+// cell's aggregator state in a checksummed container, and SweepManifest
+// records the full grid so merge-only tooling can recombine any union
+// of completed cells — byte-identical to a single-machine run — and
+// report what is missing. See docs/ARCHITECTURE.md for the lifecycle
+// and file formats.
 package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/netsim"
@@ -42,6 +56,21 @@ func (d Dataset) String() string {
 		return "RONnarrow"
 	default:
 		return fmt.Sprintf("dataset(%d)", uint8(d))
+	}
+}
+
+// ParseDataset maps a case-insensitive dataset name (as printed by
+// Dataset.String, used in CLI flags and manifests) back to its Dataset.
+func ParseDataset(s string) (Dataset, error) {
+	switch strings.ToLower(s) {
+	case "ron2003":
+		return RON2003, nil
+	case "ronwide":
+		return RONwide, nil
+	case "ronnarrow":
+		return RONnarrow, nil
+	default:
+		return 0, fmt.Errorf("core: unknown dataset %q (want ron2003, ronwide, ronnarrow)", s)
 	}
 }
 

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// CellFilter selects a subset of a sweep's expanded cells, so disjoint
+// shards of one grid can run on different machines against the same
+// spec (ronsim -sweep -cells ...). A filter is a comma-separated list
+// of terms; a cell is selected when any term matches it. Term forms:
+//
+//	12        the cell with expansion Index 12
+//	3-7       cells with Index 3 through 7 inclusive
+//	name      a cell name or group name (selects all its replicas)
+//	glob      a path.Match pattern against the cell or group name,
+//	          e.g. "*-r00" (first replica of every grid point) or
+//	          "ron2003-*" (every RON2003 cell)
+//
+// Because expansion order and cell names are deterministic functions of
+// the spec, every machine sees the same grid and any partition of it by
+// filters reproduces the exact cells — and seeds — of an unsharded run.
+type CellFilter struct {
+	spec  string
+	terms []filterTerm
+}
+
+type filterTerm struct {
+	raw     string
+	isIndex bool
+	lo, hi  int    // index range when isIndex
+	pattern string // glob otherwise
+}
+
+// ParseCellFilter parses a -cells specification. It validates glob
+// syntax and index ranges but not whether terms match any cell; call
+// Validate with the expanded grid for that.
+func ParseCellFilter(spec string) (*CellFilter, error) {
+	f := &CellFilter{spec: spec}
+	for _, raw := range strings.Split(spec, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		term := filterTerm{raw: raw}
+		if n, err := strconv.Atoi(raw); err == nil && n >= 0 {
+			term.isIndex, term.lo, term.hi = true, n, n
+		} else if lo, hi, ok := parseIndexRange(raw); ok {
+			if lo > hi {
+				return nil, fmt.Errorf("core: cell filter range %q is empty (lo > hi)", raw)
+			}
+			term.isIndex, term.lo, term.hi = true, lo, hi
+		} else {
+			if _, err := path.Match(raw, ""); err != nil {
+				return nil, fmt.Errorf("core: cell filter pattern %q: %w", raw, err)
+			}
+			term.pattern = raw
+		}
+		f.terms = append(f.terms, term)
+	}
+	if len(f.terms) == 0 {
+		return nil, fmt.Errorf("core: empty cell filter %q", spec)
+	}
+	return f, nil
+}
+
+func parseIndexRange(s string) (lo, hi int, ok bool) {
+	a, b, found := strings.Cut(s, "-")
+	if !found {
+		return 0, 0, false
+	}
+	lo, err1 := strconv.Atoi(a)
+	hi, err2 := strconv.Atoi(b)
+	if err1 != nil || err2 != nil || lo < 0 || hi < 0 {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// String returns the original specification.
+func (f *CellFilter) String() string { return f.spec }
+
+func (t *filterTerm) match(c Cell) bool {
+	if t.isIndex {
+		return c.Index >= t.lo && c.Index <= t.hi
+	}
+	if ok, _ := path.Match(t.pattern, c.Name()); ok {
+		return true
+	}
+	ok, _ := path.Match(t.pattern, c.GroupName())
+	return ok
+}
+
+// Match reports whether any term selects the cell.
+func (f *CellFilter) Match(c Cell) bool {
+	for i := range f.terms {
+		if f.terms[i].match(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks every term against the expanded grid and reports the
+// ones matching no cell — a typo in a shard assignment would otherwise
+// silently shrink the shard and leave grid points incomplete.
+func (f *CellFilter) Validate(cells []Cell) error {
+	var dead []string
+	for i := range f.terms {
+		matched := false
+		for _, c := range cells {
+			if f.terms[i].match(c) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			dead = append(dead, f.terms[i].raw)
+		}
+	}
+	if len(dead) > 0 {
+		return fmt.Errorf("core: cell filter terms match no cell: %s", strings.Join(dead, ", "))
+	}
+	return nil
+}

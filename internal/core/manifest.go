@@ -11,23 +11,38 @@ import (
 // directory.
 const ManifestName = "sweep.json"
 
+// ManifestVersion is the version written by Manifest. ReadManifest also
+// accepts version 1 manifests (PR 1's format, without snapshot paths or
+// the base-seed record).
+const ManifestVersion = 2
+
 // SweepManifest records what a sweep wrote to its output directory, so
-// post-processing tools (cmd/ronreport) can find and combine the
-// per-cell artifacts without re-deriving the grid.
+// post-processing tools (cmd/ronsim -merge-only, cmd/ronreport) can find
+// and combine the per-cell artifacts without re-deriving the grid. A
+// sharded run writes the manifest for the FULL grid — including cells it
+// skipped — so any shard's manifest describes the whole sweep and
+// merge-only mode can report which grid points are still missing.
 type SweepManifest struct {
-	Version int             `json:"version"`
-	Groups  []ManifestGroup `json:"groups"`
+	Version int `json:"version"`
+	// BaseSeed and Days echo the sweep spec, for provenance.
+	BaseSeed uint64          `json:"baseSeed,omitempty"`
+	Days     float64         `json:"days,omitempty"`
+	Groups   []ManifestGroup `json:"groups"`
 }
 
 // ManifestGroup describes one merged grid point.
 type ManifestGroup struct {
-	Name       string         `json:"name"`
-	Dataset    string         `json:"dataset"`
-	Hosts      int            `json:"hosts"`
-	Methods    []string       `json:"methods"`
-	Hysteresis float64        `json:"hysteresis,omitempty"`
-	Profile    string         `json:"profile,omitempty"`
-	Cells      []ManifestCell `json:"cells"`
+	Name       string   `json:"name"`
+	Dataset    string   `json:"dataset"`
+	Hosts      int      `json:"hosts"`
+	Methods    []string `json:"methods"`
+	Hysteresis float64  `json:"hysteresis,omitempty"`
+	Profile    string   `json:"profile,omitempty"`
+	// ProbeInterval (a Go duration string) and LossWindow record the
+	// grid point's §5.3 axis overrides; empty/zero means the default.
+	ProbeInterval string         `json:"probeInterval,omitempty"`
+	LossWindow    int            `json:"lossWindow,omitempty"`
+	Cells         []ManifestCell `json:"cells"`
 }
 
 // ManifestCell describes one replicate campaign.
@@ -37,27 +52,45 @@ type ManifestCell struct {
 	// Trace is the cell's probe-trace file, relative to the manifest's
 	// directory; empty when the sweep ran without tracing.
 	Trace string `json:"trace,omitempty"`
+	// Snapshot is the cell's persisted-state file (see ReadCellSnapshot),
+	// relative to the manifest's directory; empty when the sweep ran
+	// without an output directory. The file exists only for cells that
+	// have actually completed on some machine — under sharding, each
+	// shard records the same canonical path and fills in its own cells.
+	Snapshot string `json:"snapshot,omitempty"`
 }
 
-// Manifest builds the manifest for a finished sweep. tracePath, when
-// non-nil, maps a cell to its trace file path relative to the output
-// directory (return "" for cells without traces).
-func (r *SweepResult) Manifest(tracePath func(Cell) string) *SweepManifest {
-	m := &SweepManifest{Version: 1}
+// Manifest builds the manifest for a finished sweep, covering the full
+// grid (skipped cells included). tracePath and snapPath, when non-nil,
+// map a cell to its trace and snapshot file paths relative to the
+// output directory (return "" for cells without that artifact).
+func (r *SweepResult) Manifest(tracePath, snapPath func(Cell) string) *SweepManifest {
+	m := &SweepManifest{
+		Version:  ManifestVersion,
+		BaseSeed: r.Spec.BaseSeed,
+		Days:     r.Spec.Days,
+	}
 	for gi := range r.Groups {
 		g := &r.Groups[gi]
 		mg := ManifestGroup{
 			Name:       g.Name(),
 			Dataset:    g.Dataset.String(),
-			Hosts:      g.Merged.Testbed.N(),
-			Methods:    g.Merged.Agg.Methods(),
+			Hosts:      g.Hosts,
+			Methods:    g.Methods,
 			Hysteresis: g.Hysteresis,
 			Profile:    g.Profile.Name,
+			LossWindow: g.LossWindow,
+		}
+		if g.ProbeInterval > 0 {
+			mg.ProbeInterval = g.ProbeInterval.String()
 		}
 		for _, c := range g.Cells {
 			mc := ManifestCell{Name: c.Cell.Name(), Seed: c.Cell.Seed}
 			if tracePath != nil {
 				mc.Trace = tracePath(c.Cell)
+			}
+			if snapPath != nil {
+				mc.Snapshot = snapPath(c.Cell)
 			}
 			mg.Cells = append(mg.Cells, mc)
 		}
@@ -85,7 +118,7 @@ func ReadManifest(dir string) (*SweepManifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("core: parsing %s: %w", ManifestName, err)
 	}
-	if m.Version != 1 {
+	if m.Version < 1 || m.Version > ManifestVersion {
 		return nil, fmt.Errorf("core: unsupported sweep manifest version %d", m.Version)
 	}
 	return &m, nil

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/analysis"
+)
+
+// Cell snapshots persist a finished cell campaign — its identity, run
+// counters, and full aggregator state — so sweeps can resume after a
+// kill, extend onto a grown grid, and merge cells computed on other
+// machines without rerunning them. The on-disk container is
+//
+//	magic "RONSNAP1" (8 bytes)
+//	u32 little-endian length of the JSON metadata
+//	JSON metadata (CellSnapshot's exported fields)
+//	u32 little-endian length of the aggregator payload
+//	aggregator payload (analysis.Aggregator MarshalBinary)
+//	u32 little-endian IEEE CRC-32 of all preceding bytes
+//
+// The checksum plus an atomic write-then-rename makes a snapshot either
+// absent or trustworthy: a campaign killed mid-write never leaves a
+// half-written file under the snapshot's name.
+
+// SnapshotVersion is the current cell snapshot format version, recorded
+// in the metadata and checked on read.
+const SnapshotVersion = 1
+
+// SnapshotFileName is the snapshot file inside a cell's output
+// directory.
+const SnapshotFileName = "cell.snap"
+
+// CellsDirName and MergedDirName are the sweep output subdirectories
+// holding per-cell and per-grid-point artifacts.
+const (
+	CellsDirName  = "cells"
+	MergedDirName = "merged"
+)
+
+// snapshotMagic identifies cell snapshot files; the trailing digit is a
+// coarse format generation (the JSON metadata carries the real version).
+var snapshotMagic = []byte("RONSNAP1")
+
+// CellSnapshotRelPath returns a cell snapshot's canonical path relative
+// to its sweep output directory.
+func CellSnapshotRelPath(cellName string) string {
+	return filepath.Join(CellsDirName, cellName, SnapshotFileName)
+}
+
+// CellSnapshotPath returns a cell snapshot's canonical absolute-or-
+// relative path under a sweep output directory.
+func CellSnapshotPath(outDir, cellName string) string {
+	return filepath.Join(outDir, CellSnapshotRelPath(cellName))
+}
+
+// CellSnapshot is the persisted state of one finished cell campaign.
+// The exported fields form the JSON metadata; the aggregator rides in a
+// binary section (see Aggregator).
+type CellSnapshot struct {
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+	Seed    uint64 `json:"seed"`
+	Dataset string `json:"dataset"`
+	// Days is the cell's virtual campaign length.
+	Days       float64 `json:"days"`
+	Hysteresis float64 `json:"hysteresis,omitempty"`
+	// ProbeInterval and LossWindow are the cell's axis overrides; zero
+	// means the dataset default was used.
+	ProbeInterval time.Duration `json:"probeIntervalNS,omitempty"`
+	LossWindow    int           `json:"lossWindow,omitempty"`
+	// Profile names the substrate variant ("" = calibrated default).
+	// The profile parameters themselves are not persisted; restoring a
+	// snapshot never re-runs the substrate, so only the name (for
+	// labeling) matters.
+	Profile string   `json:"profile,omitempty"`
+	Hosts   int      `json:"hosts"`
+	Methods []string `json:"methods"`
+
+	RONProbes     int64 `json:"ronProbes"`
+	MeasureProbes int64 `json:"measureProbes"`
+	RouteChanges  int64 `json:"routeChanges"`
+
+	agg *analysis.Aggregator
+}
+
+// NewCellSnapshot captures a finished cell's result. The result's
+// aggregator is referenced, not copied; it is flushed when the snapshot
+// is written.
+func NewCellSnapshot(c Cell, res *Result) *CellSnapshot {
+	return &CellSnapshot{
+		Version:       SnapshotVersion,
+		Name:          c.Name(),
+		Seed:          c.Seed,
+		Dataset:       c.Dataset.String(),
+		Days:          res.Config.Days,
+		Hysteresis:    c.Hysteresis,
+		ProbeInterval: c.ProbeInterval,
+		LossWindow:    c.LossWindow,
+		Profile:       c.Profile.Name,
+		Hosts:         res.Testbed.N(),
+		Methods:       res.Agg.Methods(),
+		RONProbes:     res.RONProbes,
+		MeasureProbes: res.MeasureProbes,
+		RouteChanges:  res.RouteChanges,
+		agg:           res.Agg,
+	}
+}
+
+// Aggregator returns the snapshot's decoded aggregator state. It is
+// flushed and ready to query or merge.
+func (s *CellSnapshot) Aggregator() *analysis.Aggregator { return s.agg }
+
+// WriteFile stores the snapshot at path atomically: the container is
+// assembled in memory, written to a temporary file in the same
+// directory, and renamed into place, so readers only ever see absent or
+// complete snapshots. Parent directories are created as needed.
+func (s *CellSnapshot) WriteFile(path string) error {
+	meta, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	aggData, err := s.agg.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, len(snapshotMagic)+8+len(meta)+len(aggData)+4)
+	buf = append(buf, snapshotMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(meta)))
+	buf = append(buf, meta...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(aggData)))
+	buf = append(buf, aggData...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	// A process killed between CreateTemp and rename leaves a .tmp*
+	// file behind; sweep directories are compared and rsynced whole, so
+	// sweep stale debris before writing rather than letting it ride
+	// along forever.
+	if stale, err := filepath.Glob(path + ".tmp*"); err == nil {
+		for _, s := range stale {
+			os.Remove(s)
+		}
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// ReadCellSnapshot loads and verifies a snapshot: magic, section
+// lengths, CRC-32, version, and metadata/aggregator consistency. Any
+// corruption — truncation, bit flips, a stray file — yields an error
+// rather than bad statistics.
+func ReadCellSnapshot(path string) (*CellSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	corrupt := func(why string) error {
+		return fmt.Errorf("core: cell snapshot %s: %s", path, why)
+	}
+	if len(data) < len(snapshotMagic)+12 {
+		return nil, corrupt("too short")
+	}
+	if string(data[:len(snapshotMagic)]) != string(snapshotMagic) {
+		return nil, corrupt("bad magic (not a cell snapshot)")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, corrupt(fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", sum, got))
+	}
+	off := len(snapshotMagic)
+	metaLen := int(binary.LittleEndian.Uint32(body[off : off+4]))
+	off += 4
+	if metaLen < 0 || off+metaLen+4 > len(body) {
+		return nil, corrupt("metadata length out of range")
+	}
+	var snap CellSnapshot
+	if err := json.Unmarshal(body[off:off+metaLen], &snap); err != nil {
+		return nil, corrupt("metadata: " + err.Error())
+	}
+	off += metaLen
+	aggLen := int(binary.LittleEndian.Uint32(body[off : off+4]))
+	off += 4
+	if aggLen < 0 || off+aggLen != len(body) {
+		return nil, corrupt("aggregator length out of range")
+	}
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("core: cell snapshot %s: unsupported version %d (want %d)",
+			path, snap.Version, SnapshotVersion)
+	}
+	agg, err := analysis.UnmarshalAggregator(body[off:])
+	if err != nil {
+		return nil, fmt.Errorf("core: cell snapshot %s: %w", path, err)
+	}
+	if agg.Hosts() != snap.Hosts {
+		return nil, corrupt(fmt.Sprintf("metadata says %d hosts, aggregator has %d", snap.Hosts, agg.Hosts()))
+	}
+	if got := agg.Methods(); len(got) != len(snap.Methods) {
+		return nil, corrupt(fmt.Sprintf("metadata lists %d methods, aggregator has %d", len(snap.Methods), len(got)))
+	} else {
+		for i := range got {
+			if got[i] != snap.Methods[i] {
+				return nil, corrupt(fmt.Sprintf("method %d: metadata %q vs aggregator %q", i, snap.Methods[i], got[i]))
+			}
+		}
+	}
+	snap.agg = agg
+	return &snap, nil
+}
+
+// ErrSnapshotMismatch reports a snapshot that is internally valid but
+// belongs to a different cell or seed than the manifest expects —
+// typically debris from a rerun with another base seed. Distinguishable
+// from corruption (checksum errors) and absence (fs.ErrNotExist) so
+// consumers can decide whether other artifacts with the same provenance
+// (trace files) are still trustworthy.
+var ErrSnapshotMismatch = errors.New("snapshot does not match manifest cell")
+
+// ReadManifestCellSnapshot loads the snapshot a manifest records for one
+// cell — from its recorded path, or the canonical location when the
+// manifest predates snapshot paths (version 1) — and verifies the
+// snapshot's identity against the manifest entry. The name and seed
+// check is what keeps merge tooling from silently adopting results left
+// behind by a different grid; mismatches return ErrSnapshotMismatch.
+func ReadManifestCellSnapshot(dir string, c ManifestCell) (*CellSnapshot, error) {
+	rel := c.Snapshot
+	if rel == "" {
+		rel = CellSnapshotRelPath(c.Name)
+	}
+	path := rel
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(dir, path)
+	}
+	snap, err := ReadCellSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Name != c.Name || snap.Seed != c.Seed {
+		return nil, fmt.Errorf("core: cell snapshot %s is for %s seed %d, manifest wants %s seed %d: %w",
+			path, snap.Name, snap.Seed, c.Name, c.Seed, ErrSnapshotMismatch)
+	}
+	return snap, nil
+}
+
+// Restore rebuilds the cell's Result under the given Config, verifying
+// that the snapshot belongs to that exact grid point — dataset, seed,
+// campaign length, testbed size, and method set must all match, so a
+// resumed sweep never silently adopts results from a different grid.
+func (s *CellSnapshot) Restore(cfg Config) (*Result, error) {
+	mismatch := func(what string, got, want any) error {
+		return fmt.Errorf("core: snapshot %s: %s is %v, grid wants %v", s.Name, what, got, want)
+	}
+	if ds := cfg.Dataset.String(); s.Dataset != ds {
+		return nil, mismatch("dataset", s.Dataset, ds)
+	}
+	if s.Seed != cfg.Seed {
+		return nil, mismatch("seed", s.Seed, cfg.Seed)
+	}
+	if s.Days != cfg.Days {
+		return nil, mismatch("days", s.Days, cfg.Days)
+	}
+	tb := cfg.testbed()
+	if s.Hosts != tb.N() {
+		return nil, mismatch("hosts", s.Hosts, tb.N())
+	}
+	methods := cfg.methods()
+	if len(methods) != len(s.Methods) {
+		return nil, mismatch("method count", len(s.Methods), len(methods))
+	}
+	for i, m := range methods {
+		if m.Name != s.Methods[i] {
+			return nil, mismatch(fmt.Sprintf("method %d", i), s.Methods[i], m.Name)
+		}
+	}
+	return &Result{
+		Config:        cfg,
+		Testbed:       tb,
+		Methods:       methods,
+		Agg:           s.agg,
+		RONProbes:     s.RONProbes,
+		MeasureProbes: s.MeasureProbes,
+		RouteChanges:  s.RouteChanges,
+	}, nil
+}
+
+// RestoreStandalone rebuilds the cell's Result from the snapshot's own
+// metadata, for tools (merge-only mode, ronreport) that have no sweep
+// spec in hand. Sweeps that overrode Config.Methods cannot be restored
+// this way; Restore with the original Config covers those.
+func (s *CellSnapshot) RestoreStandalone() (*Result, error) {
+	d, err := ParseDataset(s.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot %s: %w", s.Name, err)
+	}
+	cfg := DefaultConfig(d, s.Days)
+	cfg.Seed = s.Seed
+	cfg.Hysteresis = s.Hysteresis
+	if s.ProbeInterval > 0 {
+		cfg.ProbeInterval = s.ProbeInterval
+	}
+	if s.LossWindow > 0 {
+		cfg.LossWindow = s.LossWindow
+	}
+	return s.Restore(cfg)
+}

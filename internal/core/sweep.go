@@ -44,9 +44,30 @@ type SweepSpec struct {
 	Profiles []ProfileVariant
 	// Hysteresis values crossed into the grid; empty means {0}.
 	Hysteresis []float64
+	// ProbeIntervals are routing-probe intervals crossed into the grid
+	// (the §5.3 design space varies how aggressively paths are probed).
+	// A zero entry selects the dataset default (15 s); empty means {0}.
+	ProbeIntervals []time.Duration
+	// LossWindows are selection-window sizes (in probes) crossed into
+	// the grid; a zero entry selects the default (100). Empty means {0}.
+	LossWindows []int
 	// Parallel caps concurrently running cells; <=0 means
 	// runtime.GOMAXPROCS(0).
 	Parallel int
+	// Filter, when non-nil, restricts Run to the cells it accepts, so
+	// disjoint shards of one grid can run on different machines against
+	// the same spec. Filtered-out cells appear in the results as
+	// Skipped, and their groups are left unmerged (Merged == nil);
+	// merge-only tooling recombines shards afterwards. Filter does not
+	// affect expansion: every cell keeps its coordinates and seed.
+	Filter func(Cell) bool
+	// Reuse, when non-nil, is consulted before running each selected
+	// cell with the cell and its fully built Config; returning a Result
+	// marks the cell Cached and skips the campaign. It is how -resume
+	// and -extend reuse persisted cell snapshots. Calls are serial (in
+	// expansion order, before the worker pool starts), so the hook may
+	// touch shared state without locking.
+	Reuse func(Cell, Config) (*Result, bool)
 	// Configure, when non-nil, is applied to each cell's Config after
 	// dataset, profile, hysteresis, and seed. It runs serially during
 	// expansion (NewSweep), so it may capture shared state without
@@ -61,14 +82,25 @@ type SweepSpec struct {
 // Cell is one point of an expanded sweep grid.
 type Cell struct {
 	// Index is the cell's position in expansion order: datasets
-	// outermost, then profiles, hysteresis, and replicas innermost.
+	// outermost, then profiles, hysteresis, probe intervals, loss
+	// windows, and replicas innermost.
 	Index int
 	// Group indexes the cell's merge group; replicas of one grid point
 	// share a group.
-	Group      int
-	Dataset    Dataset
-	Profile    ProfileVariant
+	Group int
+	// Dataset selects the cell's measurement campaign (Table 3).
+	Dataset Dataset
+	// Profile is the cell's substrate variant.
+	Profile ProfileVariant
+	// Hysteresis is the cell's route-damping margin (0 = the paper's
+	// undamped selector).
 	Hysteresis float64
+	// ProbeInterval is the cell's routing-probe interval override; 0
+	// keeps the dataset default.
+	ProbeInterval time.Duration
+	// LossWindow is the cell's selection-window override (in probes);
+	// 0 keeps the default.
+	LossWindow int
 	// Replica is the replicate ordinal within the group.
 	Replica int
 	// Seed is the derived campaign seed.
@@ -85,6 +117,12 @@ func (c Cell) GroupName() string {
 	if c.Hysteresis > 0 {
 		name += fmt.Sprintf("-h%g", c.Hysteresis)
 	}
+	if c.ProbeInterval > 0 {
+		name += "-p" + c.ProbeInterval.String()
+	}
+	if c.LossWindow > 0 {
+		name += fmt.Sprintf("-w%d", c.LossWindow)
+	}
 	return name
 }
 
@@ -96,38 +134,67 @@ func (c Cell) Name() string {
 // CellResult is the outcome of one cell campaign.
 type CellResult struct {
 	Cell Cell
-	Res  *Result
-	// Wall is the cell's wall-clock duration.
+	// Res is the cell's campaign result; nil when the cell was Skipped.
+	Res *Result
+	// Wall is the cell's wall-clock duration (zero for skipped or
+	// cached cells).
 	Wall time.Duration
 	Err  error
+	// Skipped marks a cell excluded by the sweep's Filter; Res is nil.
+	Skipped bool
+	// Cached marks a cell whose Res came from SweepSpec.Reuse (a
+	// persisted snapshot) rather than a fresh campaign.
+	Cached bool
 }
 
 // GroupResult combines one grid point's replicas.
 type GroupResult struct {
-	Dataset    Dataset
-	Profile    ProfileVariant
-	Hysteresis float64
-	// Cells are the group's replicate results in replica order.
+	// Dataset, Profile, Hysteresis, ProbeInterval, and LossWindow are
+	// the grid point's coordinates.
+	Dataset       Dataset
+	Profile       ProfileVariant
+	Hysteresis    float64
+	ProbeInterval time.Duration
+	LossWindow    int
+	// Hosts and Methods describe the grid point's testbed size and
+	// method names; unlike Merged they are populated even when the
+	// group is incomplete.
+	Hosts   int
+	Methods []string
+	// Cells are the group's replicate results in replica order,
+	// including skipped ones (nil Res) under a sharding Filter.
 	Cells []*CellResult
 	// Merged sums the replicas: probe counters added, aggregators
 	// merged in replica order (order-independent by Aggregator.Merge's
-	// contract). Its Config is the first replica's.
+	// contract). Its Config is the first replica's. Merged is nil when
+	// any replica was skipped by the sweep's Filter; merge-only tooling
+	// completes such groups later from persisted snapshots.
 	Merged *Result
 }
 
 // Name labels the grid point.
 func (g *GroupResult) Name() string { return g.Cells[0].Cell.GroupName() }
 
+// Complete reports whether every replica ran (or was reused), i.e.
+// whether Merged is populated.
+func (g *GroupResult) Complete() bool { return g.Merged != nil }
+
 // SweepResult is the outcome of a whole sweep.
 type SweepResult struct {
+	// Spec is the spec the sweep was expanded from.
+	Spec SweepSpec
 	// Cells holds every cell result in expansion order.
 	Cells []CellResult
 	// Groups holds the merged grid points in expansion order.
 	Groups []GroupResult
 	// Wall is the whole sweep's wall-clock duration.
 	Wall time.Duration
-	// Parallel is the worker count actually used.
+	// Parallel is the worker count actually used (0 when every
+	// selected cell was reused).
 	Parallel int
+	// Selected counts cells accepted by the Filter (all cells when
+	// there is none); Reused counts those satisfied by Reuse.
+	Selected, Reused int
 }
 
 // Sweep is an expanded, validated sweep ready to run. Build with
@@ -176,6 +243,14 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 	if len(hysteresis) == 0 {
 		hysteresis = []float64{0}
 	}
+	intervals := spec.ProbeIntervals
+	if len(intervals) == 0 {
+		intervals = []time.Duration{0}
+	}
+	windows := spec.LossWindows
+	if len(windows) == 0 {
+		windows = []int{0}
+	}
 	replicas := spec.Replicas
 	if replicas <= 0 {
 		replicas = 1
@@ -192,36 +267,55 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 				if h < 0 {
 					return nil, fmt.Errorf("core: sweep hysteresis %g < 0", h)
 				}
-				group := len(s.groups)
-				s.groups = append(s.groups, nil)
-				for r := 0; r < replicas; r++ {
-					cell := Cell{
-						Index:      len(s.cells),
-						Group:      group,
-						Dataset:    d,
-						Profile:    pv,
-						Hysteresis: h,
-						Replica:    r,
-						Seed: deriveSeed(spec.BaseSeed, uint64(di),
-							uint64(pi), uint64(hi), uint64(r)),
+				for ii, iv := range intervals {
+					if iv < 0 {
+						return nil, fmt.Errorf("core: sweep probe interval %v < 0", iv)
 					}
-					if _, dup := seen[cell.Name()]; dup {
-						return nil, fmt.Errorf("core: sweep grid point %s duplicated (repeated dataset, profile, or hysteresis value?)", cell.GroupName())
+					for wi, lw := range windows {
+						if lw < 0 {
+							return nil, fmt.Errorf("core: sweep loss window %d < 0", lw)
+						}
+						group := len(s.groups)
+						s.groups = append(s.groups, nil)
+						for r := 0; r < replicas; r++ {
+							cell := Cell{
+								Index:         len(s.cells),
+								Group:         group,
+								Dataset:       d,
+								Profile:       pv,
+								Hysteresis:    h,
+								ProbeInterval: iv,
+								LossWindow:    lw,
+								Replica:       r,
+								Seed: deriveSeed(spec.BaseSeed, uint64(di),
+									uint64(pi), uint64(hi), uint64(ii),
+									uint64(wi), uint64(r)),
+							}
+							if _, dup := seen[cell.Name()]; dup {
+								return nil, fmt.Errorf("core: sweep grid point %s duplicated (repeated axis value?)", cell.GroupName())
+							}
+							seen[cell.Name()] = struct{}{}
+							cfg := DefaultConfig(d, spec.Days)
+							cfg.Seed = cell.Seed
+							cfg.Profile = pv.Profile
+							cfg.Hysteresis = h
+							if iv > 0 {
+								cfg.ProbeInterval = iv
+							}
+							if lw > 0 {
+								cfg.LossWindow = lw
+							}
+							if spec.Configure != nil {
+								spec.Configure(cell, &cfg)
+							}
+							if err := cfg.Validate(); err != nil {
+								return nil, fmt.Errorf("core: sweep cell %s: %w", cell.Name(), err)
+							}
+							s.groups[group] = append(s.groups[group], cell.Index)
+							s.cells = append(s.cells, cell)
+							s.cfgs = append(s.cfgs, cfg)
+						}
 					}
-					seen[cell.Name()] = struct{}{}
-					cfg := DefaultConfig(d, spec.Days)
-					cfg.Seed = cell.Seed
-					cfg.Profile = pv.Profile
-					cfg.Hysteresis = h
-					if spec.Configure != nil {
-						spec.Configure(cell, &cfg)
-					}
-					if err := cfg.Validate(); err != nil {
-						return nil, fmt.Errorf("core: sweep cell %s: %w", cell.Name(), err)
-					}
-					s.groups[group] = append(s.groups[group], cell.Index)
-					s.cells = append(s.cells, cell)
-					s.cfgs = append(s.cfgs, cfg)
 				}
 			}
 		}
@@ -232,23 +326,56 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 // Cells returns the expanded grid in expansion order.
 func (s *Sweep) Cells() []Cell { return append([]Cell(nil), s.cells...) }
 
-// Run executes every cell over a worker pool and merges replicas. Cells
-// are independent campaigns, so any schedule yields the same per-cell
-// results; merging happens afterwards in expansion order, making the
-// merged tables byte-identical across Parallel settings.
+// Run executes every selected cell over a worker pool and merges
+// replicas. Cells are independent campaigns, so any schedule yields the
+// same per-cell results; merging happens afterwards in expansion order,
+// making the merged tables byte-identical across Parallel settings —
+// and, because seeds derive from coordinates, across any sharding by
+// Filter or reuse of persisted snapshots.
 func (s *Sweep) Run() (*SweepResult, error) {
 	start := time.Now()
+	results := make([]CellResult, len(s.cells))
+	var progressMu sync.Mutex
+	progress := func(i int) {
+		if s.spec.Progress != nil {
+			progressMu.Lock()
+			s.spec.Progress(results[i])
+			progressMu.Unlock()
+		}
+	}
+	var toRun []int
+	selected, reused := 0, 0
+	for i, c := range s.cells {
+		results[i] = CellResult{Cell: c}
+		if s.spec.Filter != nil && !s.spec.Filter(c) {
+			results[i].Skipped = true
+			continue
+		}
+		selected++
+		if s.spec.Reuse != nil {
+			if res, ok := s.spec.Reuse(c, s.cfgs[i]); ok {
+				results[i].Res = res
+				results[i].Cached = true
+				reused++
+				progress(i)
+				continue
+			}
+		}
+		toRun = append(toRun, i)
+	}
+	if selected == 0 {
+		return nil, errors.New("core: sweep cell filter selected no cells")
+	}
+
 	workers := s.spec.Parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(s.cells) {
-		workers = len(s.cells)
+	if workers > len(toRun) {
+		workers = len(toRun)
 	}
-	results := make([]CellResult, len(s.cells))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	var progressMu sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -256,19 +383,14 @@ func (s *Sweep) Run() (*SweepResult, error) {
 			for i := range jobs {
 				t0 := time.Now()
 				res, err := Run(s.cfgs[i])
-				results[i] = CellResult{
-					Cell: s.cells[i], Res: res,
-					Wall: time.Since(t0), Err: err,
-				}
-				if s.spec.Progress != nil {
-					progressMu.Lock()
-					s.spec.Progress(results[i])
-					progressMu.Unlock()
-				}
+				results[i].Res = res
+				results[i].Wall = time.Since(t0)
+				results[i].Err = err
+				progress(i)
 			}
 		}()
 	}
-	for i := range s.cells {
+	for _, i := range toRun {
 		jobs <- i
 	}
 	close(jobs)
@@ -286,27 +408,46 @@ func (s *Sweep) Run() (*SweepResult, error) {
 	}
 
 	out := &SweepResult{
+		Spec:     s.spec,
 		Cells:    results,
 		Groups:   make([]GroupResult, len(s.groups)),
 		Parallel: workers,
+		Selected: selected,
+		Reused:   reused,
 	}
 	for g, idxs := range s.groups {
 		cells := make([]*CellResult, len(idxs))
+		complete := true
 		for k, i := range idxs {
 			cells[k] = &out.Cells[i]
-		}
-		merged, err := mergeCells(cells)
-		if err != nil {
-			return nil, err
+			if cells[k].Res == nil {
+				complete = false
+			}
 		}
 		first := cells[0].Cell
-		out.Groups[g] = GroupResult{
-			Dataset:    first.Dataset,
-			Profile:    first.Profile,
-			Hysteresis: first.Hysteresis,
-			Cells:      cells,
-			Merged:     merged,
+		cfg := s.cfgs[idxs[0]]
+		names := make([]string, 0, len(cfg.methods()))
+		for _, m := range cfg.methods() {
+			names = append(names, m.Name)
 		}
+		gr := GroupResult{
+			Dataset:       first.Dataset,
+			Profile:       first.Profile,
+			Hysteresis:    first.Hysteresis,
+			ProbeInterval: first.ProbeInterval,
+			LossWindow:    first.LossWindow,
+			Hosts:         cfg.testbed().N(),
+			Methods:       names,
+			Cells:         cells,
+		}
+		if complete {
+			merged, err := mergeCells(cells)
+			if err != nil {
+				return nil, err
+			}
+			gr.Merged = merged
+		}
+		out.Groups[g] = gr
 	}
 	out.Wall = time.Since(start)
 	return out, nil
@@ -315,22 +456,44 @@ func (s *Sweep) Run() (*SweepResult, error) {
 // mergeCells sums replicate results into a fresh Result, merging
 // aggregators in replica order so the outcome is schedule-independent.
 func mergeCells(cells []*CellResult) (*Result, error) {
-	base := cells[0].Res
+	results := make([]*Result, len(cells))
+	for i, c := range cells {
+		results[i] = c.Res
+	}
+	merged, err := MergeResults(results)
+	if err != nil {
+		return nil, fmt.Errorf("core: merging group %s: %w", cells[0].Cell.GroupName(), err)
+	}
+	return merged, nil
+}
+
+// MergeResults sums replicate campaign results into a fresh Result:
+// probe counters added, aggregators merged in the given order
+// (order-independent by Aggregator.Merge's contract). The merged
+// Config is the first replica's. It is the same combination Run
+// performs per grid point, exported so merge-only tooling can rebuild
+// merged tables from snapshot-restored replicas, byte-identical to a
+// single-machine sweep.
+func MergeResults(results []*Result) (*Result, error) {
+	if len(results) == 0 {
+		return nil, errors.New("core: MergeResults with no results")
+	}
+	base := results[0]
 	merged := &Result{
 		Config:  base.Config,
 		Testbed: base.Testbed,
 		Methods: base.Methods,
 		Agg:     analysis.NewAggregator(base.Agg.Methods(), base.Testbed.N()),
 	}
-	for _, c := range cells {
-		if err := merged.Agg.Merge(c.Res.Agg); err != nil {
-			return nil, fmt.Errorf("core: merging cell %s: %w", c.Cell.Name(), err)
+	for i, r := range results {
+		if err := merged.Agg.Merge(r.Agg); err != nil {
+			return nil, fmt.Errorf("core: merging replica %d: %w", i, err)
 		}
-		merged.RONProbes += c.Res.RONProbes
-		merged.MeasureProbes += c.Res.MeasureProbes
-		merged.RouteChanges += c.Res.RouteChanges
+		merged.RONProbes += r.RONProbes
+		merged.MeasureProbes += r.MeasureProbes
+		merged.RouteChanges += r.RouteChanges
 	}
-	merged.MergedReplicas = len(cells)
+	merged.MergedReplicas = len(results)
 	return merged, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/netsim"
@@ -82,6 +83,8 @@ func TestSweepSeedsStableAcrossGridGrowth(t *testing.T) {
 	big := small
 	big.Replicas = 5
 	big.Hysteresis = []float64{0, 0.5}
+	big.ProbeIntervals = []time.Duration{0, 30 * time.Second}
+	big.LossWindows = []int{0, 50}
 	sSmall, err := NewSweep(small)
 	if err != nil {
 		t.Fatal(err)
@@ -229,6 +232,8 @@ func TestSweepManifestRoundTrip(t *testing.T) {
 	}
 	m := res.Manifest(func(c Cell) string {
 		return filepath.Join("traces", c.Name()+".trc")
+	}, func(c Cell) string {
+		return CellSnapshotRelPath(c.Name())
 	})
 	dir := t.TempDir()
 	if err := m.Write(dir); err != nil {
@@ -248,6 +253,12 @@ func TestSweepManifestRoundTrip(t *testing.T) {
 	if len(g.Cells) != 2 || g.Cells[0].Trace == "" ||
 		g.Cells[0].Seed != res.Cells[0].Cell.Seed {
 		t.Errorf("manifest cells = %+v", g.Cells)
+	}
+	if got.Version != ManifestVersion || got.BaseSeed != 9 {
+		t.Errorf("manifest version/baseSeed = %d/%d", got.Version, got.BaseSeed)
+	}
+	if g.Cells[0].Snapshot != CellSnapshotRelPath(res.Cells[0].Cell.Name()) {
+		t.Errorf("manifest snapshot path = %q", g.Cells[0].Snapshot)
 	}
 	// Unsupported versions are rejected.
 	bad := *got
