@@ -44,10 +44,30 @@ func runCampaign(b *testing.B, d core.Dataset, days float64) *core.Result {
 	return res
 }
 
+// BenchmarkCampaign is the headline throughput number: one compressed
+// RONnarrow campaign per iteration, reporting virtual probes simulated
+// per wall-clock second (measurement + routing probes; the campaign's
+// unit of work). The sweep engine and the month-long-run ambitions of
+// the ROADMAP scale linearly with this.
+func BenchmarkCampaign(b *testing.B) {
+	var res *core.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = runCampaign(b, core.RONnarrow, benchDays)
+	}
+	b.StopTimer()
+	probes := res.MeasureProbes + res.RONProbes
+	probesPerSec := float64(probes) * float64(b.N) /
+		b.Elapsed().Seconds()
+	b.ReportMetric(probesPerSec, "probes/sec")
+}
+
 // BenchmarkTable5_RON2003 regenerates Table 5's 2003 half: the eight
 // method rows with 1lp/2lp/totlp/clp/lat.
 func BenchmarkTable5_RON2003(b *testing.B) {
 	var res *core.Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res = runCampaign(b, core.RON2003, benchDays)
 	}
@@ -59,6 +79,7 @@ func BenchmarkTable5_RON2003(b *testing.B) {
 // RONnarrow configuration (17 hosts, the three most promising methods).
 func BenchmarkTable5_RON2002(b *testing.B) {
 	var res *core.Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res = runCampaign(b, core.RONnarrow, benchDays)
 	}
@@ -71,6 +92,7 @@ func BenchmarkTable5_RON2002(b *testing.B) {
 // longer campaign than the other benches.
 func BenchmarkTable6_HighLossHours(b *testing.B) {
 	var res *core.Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res = runCampaign(b, core.RON2003, 0.25)
 	}
@@ -81,6 +103,7 @@ func BenchmarkTable6_HighLossHours(b *testing.B) {
 // set over the 2002 testbed with round-trip latencies.
 func BenchmarkTable7_RONwide(b *testing.B) {
 	var res *core.Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res = runCampaign(b, core.RONwide, benchDays)
 	}
@@ -92,6 +115,7 @@ func BenchmarkTable7_RONwide(b *testing.B) {
 // long-term loss rates (2003 vs 2002 testbeds).
 func BenchmarkFigure2_PathLossCDF(b *testing.B) {
 	var c03, c02 *analysis.CDF
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c03 = runCampaign(b, core.RON2003, benchDays).Figure2(10)
 		c02 = runCampaign(b, core.RONnarrow, benchDays).Figure2(10)
@@ -106,6 +130,7 @@ func BenchmarkFigure2_PathLossCDF(b *testing.B) {
 // loss-rate samples per routing method.
 func BenchmarkFigure3_WindowCDF(b *testing.B) {
 	var res *core.Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res = runCampaign(b, core.RON2003, 0.1)
 	}
@@ -119,6 +144,7 @@ func BenchmarkFigure3_WindowCDF(b *testing.B) {
 func BenchmarkFigure4_CLPCDF(b *testing.B) {
 	var names []string
 	var cdfs []*analysis.CDF
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		names, cdfs = runCampaign(b, core.RON2003, 0.1).Figure4()
 	}
@@ -130,6 +156,7 @@ func BenchmarkFigure4_CLPCDF(b *testing.B) {
 // mean one-way latency for paths over 50 ms, per method.
 func BenchmarkFigure5_LatencyCDF(b *testing.B) {
 	var res *core.Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res = runCampaign(b, core.RON2003, benchDays)
 	}
@@ -243,6 +270,7 @@ func BenchmarkSweep(b *testing.B) {
 	} {
 		b.Run(bench.name, func(b *testing.B) {
 			var res *core.SweepResult
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				var err error
 				res, err = core.RunSweep(core.SweepSpec{
