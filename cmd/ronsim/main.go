@@ -39,6 +39,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -71,11 +73,23 @@ func main() {
 		probeInt   = flag.String("probeinterval", "0", "sweep: comma-separated routing-probe intervals (Go durations; 0 = dataset default)")
 		lossWin    = flag.String("losswindow", "0", "sweep: comma-separated selection-window sizes in probes (0 = default)")
 		cells      = flag.String("cells", "", "sweep: run only this shard of the grid (comma-separated cell/group names, globs, indices, or index ranges)")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		resume     = flag.Bool("resume", false, "sweep: reuse completed cell snapshots found under -out, running only the missing cells")
 		extend     = flag.Bool("extend", false, "sweep: like -resume for a grown grid — reuse every already-computed cell, run only the new ones")
 		mergeOnly  = flag.Bool("merge-only", false, "sweep: skip running; rebuild merged/ under -out from completed cell snapshots and report missing grid points")
 	)
 	flag.Parse()
+
+	// Profiling hooks so perf work on the campaign engine starts from a
+	// profile of the real binary, not a reconstruction: run any workload
+	// with -cpuprofile/-memprofile and feed the output to `go tool
+	// pprof`. stopProfiles is called on every exit path, including
+	// fatal.
+	if err := startProfiles(*cpuProf, *memProf); err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	if !*sweep {
 		// Sweep-only flags must not silently degrade into a default
@@ -807,7 +821,51 @@ func frac(v float64) string {
 	return fmt.Sprintf("%.4f", v)
 }
 
+// profiles tracks the active profiling state for stopProfiles.
+var profiles struct {
+	cpu     *os.File
+	memPath string
+}
+
+// startProfiles begins CPU profiling and records the heap-profile
+// destination; either path may be empty.
+func startProfiles(cpuPath, memPath string) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		profiles.cpu = f
+	}
+	profiles.memPath = memPath
+	return nil
+}
+
+// stopProfiles flushes the CPU profile and writes the heap profile. It
+// is safe to call more than once.
+func stopProfiles() {
+	if profiles.cpu != nil {
+		pprof.StopCPUProfile()
+		profiles.cpu.Close()
+		profiles.cpu = nil
+	}
+	if profiles.memPath != "" {
+		f, err := os.Create(profiles.memPath)
+		if err == nil {
+			runtime.GC() // up-to-date allocation statistics
+			_ = pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+		profiles.memPath = ""
+	}
+}
+
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "ronsim:", err)
 	os.Exit(1)
 }

@@ -40,6 +40,14 @@ type windowState struct {
 	lost  int64
 }
 
+// pathWindows packs a path's 20-minute and 1-hour windows side by side
+// so the per-probe hot path touches one cache line instead of two
+// parallel arrays.
+type pathWindows struct {
+	w20 windowState
+	w60 windowState
+}
+
 // Aggregator consumes Observations and produces the paper's tables and
 // figures. Create with NewAggregator; feed with Observe; query with the
 // Table*/Figure* methods after the campaign (queries are also safe
@@ -53,14 +61,12 @@ type Aggregator struct {
 
 	perPath [][]pathStats // [method][src*nHosts+dst]
 
-	// 20-minute window machinery (Figure 3): flushed samples pool
-	// across paths, per method.
-	win20      [][]windowState
-	win20Rates []*CDF
-
-	// 1-hour window machinery (Table 6): counts of path-hours whose
-	// effective loss rate exceeded each threshold.
-	win60       [][]windowState
+	// Window machinery: the 20-minute windows (Figure 3) pool flushed
+	// samples across paths per method; the 1-hour windows (Table 6)
+	// count path-hours whose effective loss rate exceeded each
+	// threshold.
+	wins        [][]pathWindows // [method][path]
+	win20Rates  []*CDF
 	hourCounts  [][]int64 // [method][threshold index]
 	hourPeriods []int64   // total flushed path-hours per method
 	// hourMax tracks the single worst hour across methods ("During the
@@ -90,8 +96,7 @@ func NewAggregator(methods []string, nHosts int) *Aggregator {
 		nHosts:      nHosts,
 		nPaths:      nHosts * nHosts,
 		perPath:     make([][]pathStats, nm),
-		win20:       make([][]windowState, nm),
-		win60:       make([][]windowState, nm),
+		wins:        make([][]pathWindows, nm),
 		win20Rates:  make([]*CDF, nm),
 		hourCounts:  make([][]int64, nm),
 		hourPeriods: make([]int64, nm),
@@ -100,11 +105,10 @@ func NewAggregator(methods []string, nHosts int) *Aggregator {
 	}
 	for m := 0; m < nm; m++ {
 		a.perPath[m] = make([]pathStats, a.nPaths)
-		a.win20[m] = make([]windowState, a.nPaths)
-		a.win60[m] = make([]windowState, a.nPaths)
-		for p := range a.win20[m] {
-			a.win20[m][p].index = -1
-			a.win60[m][p].index = -1
+		a.wins[m] = make([]pathWindows, a.nPaths)
+		for p := range a.wins[m] {
+			a.wins[m][p].w20.index = -1
+			a.wins[m][p].w60.index = -1
 		}
 		a.win20Rates[m] = &CDF{}
 		a.hourCounts[m] = make([]int64, len(Table6Thresholds))
@@ -131,6 +135,12 @@ func (a *Aggregator) pathIndex(src, dst int) int { return src*a.nHosts + dst }
 // a given (method, path) must arrive in nondecreasing time order (window
 // bookkeeping); different paths may interleave arbitrarily.
 func (a *Aggregator) Observe(o Observation) {
+	// Thin inlinable wrapper: the callee takes a pointer, so the
+	// per-probe call moves no 64-byte Observation copy.
+	a.observe(&o)
+}
+
+func (a *Aggregator) observe(o *Observation) {
 	if err := o.Validate(len(a.methods), a.nHosts); err != nil {
 		panic(err)
 	}
@@ -168,10 +178,34 @@ func (a *Aggregator) Observe(o Observation) {
 		ps.lat2N++
 	}
 
-	a.observeWindow(a.win20[o.Method], pi, o.Time, int64(WindowShort), eff,
-		func(rate float64) { a.win20Rates[o.Method].Add(rate) })
-	a.observeWindow(a.win60[o.Method], pi, o.Time, int64(WindowHour), eff,
-		func(rate float64) { a.flushHour(o.Method, rate) })
+	// The two window kinds are advanced inline — not through a generic
+	// observeWindow(flush func(...)) — because this is the per-probe hot
+	// path: the flush closures would capture o.Method and escape,
+	// costing two allocations per observation.
+	pw := &a.wins[o.Method][pi]
+	if idx := o.Time / int64(WindowShort); pw.w20.index != idx {
+		if pw.w20.index >= 0 && pw.w20.sent > 0 {
+			a.win20Rates[o.Method].Add(float64(pw.w20.lost) / float64(pw.w20.sent))
+		}
+		pw.w20.index = idx
+		pw.w20.sent, pw.w20.lost = 0, 0
+	}
+	pw.w20.sent++
+	if eff {
+		pw.w20.lost++
+	}
+
+	if idx := o.Time / int64(WindowHour); pw.w60.index != idx {
+		if pw.w60.index >= 0 && pw.w60.sent > 0 {
+			a.flushHour(o.Method, float64(pw.w60.lost)/float64(pw.w60.sent))
+		}
+		pw.w60.index = idx
+		pw.w60.sent, pw.w60.lost = 0, 0
+	}
+	pw.w60.sent++
+	if eff {
+		pw.w60.lost++
+	}
 
 	hod := int(o.Time/int64(time.Hour)) % 24
 	if hod < 0 {
@@ -195,25 +229,6 @@ func (a *Aggregator) DiurnalProfile(method int) [24]float64 {
 	return out
 }
 
-// observeWindow advances the (method, path) window containing time t,
-// flushing the previous window's rate if t crossed a boundary.
-func (a *Aggregator) observeWindow(ws []windowState, pi int, t int64,
-	width int64, lost bool, flush func(rate float64)) {
-	w := &ws[pi]
-	idx := t / width
-	if w.index != idx {
-		if w.index >= 0 && w.sent > 0 {
-			flush(float64(w.lost) / float64(w.sent))
-		}
-		w.index = idx
-		w.sent, w.lost = 0, 0
-	}
-	w.sent++
-	if lost {
-		w.lost++
-	}
-}
-
 func (a *Aggregator) flushHour(method int, rate float64) {
 	a.hourPeriods[method]++
 	pct := rate * 100
@@ -232,11 +247,12 @@ func (a *Aggregator) flushHour(method int, rate float64) {
 func (a *Aggregator) Flush() {
 	for m := range a.methods {
 		for pi := 0; pi < a.nPaths; pi++ {
-			if w := &a.win20[m][pi]; w.index >= 0 && w.sent > 0 {
+			pw := &a.wins[m][pi]
+			if w := &pw.w20; w.index >= 0 && w.sent > 0 {
 				a.win20Rates[m].Add(float64(w.lost) / float64(w.sent))
 				w.index, w.sent, w.lost = -1, 0, 0
 			}
-			if w := &a.win60[m][pi]; w.index >= 0 && w.sent > 0 {
+			if w := &pw.w60; w.index >= 0 && w.sent > 0 {
 				a.flushHour(m, float64(w.lost)/float64(w.sent))
 				w.index, w.sent, w.lost = -1, 0, 0
 			}
@@ -294,7 +310,7 @@ func (a *Aggregator) Merge(other *Aggregator) error {
 			ps.lat2SumNS += os.lat2SumNS
 			ps.lat2N += os.lat2N
 		}
-		a.win20Rates[m].AddAll(other.win20Rates[m].Samples())
+		a.win20Rates[m].Merge(other.win20Rates[m])
 		for i := range a.hourCounts[m] {
 			a.hourCounts[m][i] += other.hourCounts[m][i]
 		}

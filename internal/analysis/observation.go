@@ -43,7 +43,7 @@ type Observation struct {
 // EffectiveLost reports whether the probe failed end-to-end: every copy
 // lost. This is the loss notion behind totlp in Table 5 and the windowed
 // rates of Figure 3 and Table 6.
-func (o Observation) EffectiveLost() bool {
+func (o *Observation) EffectiveLost() bool {
 	if o.Copies == 1 {
 		return o.Lost[0]
 	}
@@ -52,7 +52,7 @@ func (o Observation) EffectiveLost() bool {
 
 // EffectiveLatency returns the latency the application experiences: the
 // earliest delivered copy. ok is false when all copies were lost.
-func (o Observation) EffectiveLatency() (time.Duration, bool) {
+func (o *Observation) EffectiveLatency() (time.Duration, bool) {
 	switch {
 	case o.Copies == 1:
 		if o.Lost[0] {
@@ -75,7 +75,7 @@ func (o Observation) EffectiveLatency() (time.Duration, bool) {
 
 // Validate checks structural sanity of an observation against the mesh
 // size and method count.
-func (o Observation) Validate(nMethods, nHosts int) error {
+func (o *Observation) Validate(nMethods, nHosts int) error {
 	if o.Method < 0 || o.Method >= nMethods {
 		return fmt.Errorf("analysis: method %d out of range [0,%d)", o.Method, nMethods)
 	}

@@ -9,7 +9,21 @@ import (
 // aggSnapshotVersion is the version byte leading a serialized aggregator.
 // Bump it on any layout change; UnmarshalAggregator rejects versions it
 // does not know.
-const aggSnapshotVersion = 1
+//
+// Version history:
+//
+//	v1: pooled window samples stored expanded — u32 count then one f64
+//	    per sample. O(path-hours) on disk for long campaigns.
+//	v2: pooled window samples stored as sorted run-length pairs — u32
+//	    run count then (f64 value, i64 multiplicity) per run, matching
+//	    the CDF's in-memory representation. O(distinct rates) on disk.
+//	    The reader still restores v1 payloads.
+const aggSnapshotVersion = 2
+
+// SnapshotCodecVersion is the aggregator codec version MarshalBinary
+// currently writes, exported so containers embedding the payload can
+// record and gate on it (see internal/core's loss-window guard).
+const SnapshotCodecVersion = aggSnapshotVersion
 
 // binWriter accumulates the little-endian snapshot payload.
 type binWriter struct{ buf []byte }
@@ -115,11 +129,12 @@ func (a *Aggregator) MarshalBinary() ([]byte, error) {
 		}
 	}
 	for m := range a.methods {
-		samples := a.win20Rates[m].Samples()
-		w.u32(uint32(len(samples)))
-		for _, s := range samples {
-			w.f64(s)
-		}
+		c := a.win20Rates[m]
+		w.u32(uint32(c.Distinct()))
+		c.Runs(func(v float64, count int64) {
+			w.f64(v)
+			w.i64(count)
+		})
 	}
 	w.u32(uint32(len(Table6Thresholds)))
 	for m := range a.methods {
@@ -146,9 +161,10 @@ func (a *Aggregator) MarshalBinary() ([]byte, error) {
 // error.
 func UnmarshalAggregator(data []byte) (*Aggregator, error) {
 	r := &binReader{buf: data}
-	if v := r.u8(); r.err == nil && v != aggSnapshotVersion {
-		return nil, fmt.Errorf("analysis: unsupported aggregator snapshot version %d (want %d)",
-			v, aggSnapshotVersion)
+	version := r.u8()
+	if r.err == nil && version != 1 && version != aggSnapshotVersion {
+		return nil, fmt.Errorf("analysis: unsupported aggregator snapshot version %d (want 1..%d)",
+			version, aggSnapshotVersion)
 	}
 	nm := int(r.u32())
 	nHosts := int(r.u32())
@@ -196,11 +212,26 @@ func UnmarshalAggregator(data []byte) (*Aggregator, error) {
 		if r.err != nil {
 			return nil, r.err
 		}
-		if n < 0 || n*8 > r.remaining() {
-			return nil, fmt.Errorf("analysis: aggregator snapshot claims %d window samples with %d bytes left", n, r.remaining())
-		}
-		for i := 0; i < n; i++ {
-			a.win20Rates[m].Add(r.f64())
+		switch version {
+		case 1: // expanded samples: one f64 each
+			if n < 0 || n*8 > r.remaining() {
+				return nil, fmt.Errorf("analysis: aggregator snapshot claims %d window samples with %d bytes left", n, r.remaining())
+			}
+			for i := 0; i < n; i++ {
+				a.win20Rates[m].Add(r.f64())
+			}
+		default: // v2: (value, count) runs
+			if n < 0 || n*16 > r.remaining() {
+				return nil, fmt.Errorf("analysis: aggregator snapshot claims %d window-sample runs with %d bytes left", n, r.remaining())
+			}
+			for i := 0; i < n; i++ {
+				v := r.f64()
+				count := r.i64()
+				if count <= 0 {
+					return nil, fmt.Errorf("analysis: aggregator snapshot run %d has non-positive count %d", i, count)
+				}
+				a.win20Rates[m].AddWeighted(v, count)
+			}
 		}
 	}
 	if nt := int(r.u32()); r.err == nil && nt != len(Table6Thresholds) {

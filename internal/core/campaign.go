@@ -43,9 +43,26 @@ type campaign struct {
 	agg     *analysis.Aggregator
 	rng     *netsim.Source
 	methods []route.Method
-	tables  route.Tables
 	queue   eventQueue
 	end     netsim.Time
+
+	// tables is the current routing snapshot; scratch is the buffer the
+	// next refresh writes into before the two swap, so steady-state
+	// refreshes allocate nothing.
+	tables  route.Tables
+	scratch route.Tables
+
+	// probeIvl/refreshIvl are the event recurrence intervals, converted
+	// once instead of per scheduled event.
+	probeIvl   netsim.Time
+	refreshIvl netsim.Time
+
+	// probes is the implicit routing-probe schedule: one phase per
+	// ordered pair, recurring every probeIvl. Strict periodicity means
+	// these — half of all campaign events — never touch the event
+	// queue; the loop merges the sorted phase wheel with the queue by
+	// time (see loop for the tie rule).
+	probes probeStream
 
 	// perNodeMethod rotates each node through the method list ("the
 	// nodes cycle through the different probe types", §4.1).
@@ -70,11 +87,13 @@ func Run(cfg Config) (*Result, error) {
 		cfg:           cfg,
 		tb:            tb,
 		nw:            netsim.New(tb, cfg.Profile, cfg.Seed),
-		sel:           route.NewSelector(tb.N()),
+		sel:           route.NewSelectorWindow(tb.N(), cfg.LossWindow),
 		agg:           analysis.NewAggregator(names, tb.N()),
 		rng:           netsim.NewSource(cfg.Seed ^ 0xCA39A160),
 		methods:       methods,
 		end:           netsim.Time(cfg.Days * float64(netsim.Day)),
+		probeIvl:      netsim.FromDuration(cfg.ProbeInterval),
+		refreshIvl:    netsim.FromDuration(cfg.TableRefresh),
 		perNodeMethod: make([]int, tb.N()),
 	}
 	c.res = &Result{Config: cfg, Testbed: tb, Methods: methods, Agg: c.agg}
@@ -86,20 +105,25 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // seed schedules the initial events: one routing probe per ordered pair
-// (phase-jittered across the probe interval), the periodic table refresh,
-// and one measurement probe per node.
+// (phase-jittered across the probe interval, carried by the implicit
+// probe stream), the periodic table refresh, and one measurement probe
+// per node.
 func (c *campaign) seed() {
 	n := c.tb.N()
-	interval := netsim.FromDuration(c.cfg.ProbeInterval)
+	interval := c.probeIvl
 	for s := 0; s < n; s++ {
 		for d := 0; d < n; d++ {
 			if s == d {
 				continue
 			}
 			phase := netsim.Time(c.rng.Float64() * float64(interval))
-			c.queue.push(event{t: phase, kind: evRONProbe, a: int32(s), b: int32(d)})
+			// Sequence numbers are consumed in the same order the
+			// retired engine pushed these events, so ties against
+			// queued events resolve identically.
+			c.probes.add(phase, int32(s), int32(d), c.queue.takeSeq())
 		}
 	}
+	c.probes.start(interval)
 	c.queue.push(event{t: netsim.FromDuration(c.cfg.TableRefresh), kind: evTableRefresh})
 	for s := 0; s < n; s++ {
 		c.queue.push(event{t: c.measureGap(), kind: evMeasure, a: int32(s)})
@@ -109,33 +133,8 @@ func (c *campaign) seed() {
 		c.sel.SetHysteresis(c.cfg.Hysteresis)
 	}
 	// Start with empty tables (all direct), as a freshly booted RON
-	// would.
-	c.tables = c.snapshotTables()
-}
-
-// snapshotTables computes routing tables, honoring configured hysteresis.
-func (c *campaign) snapshotTables() route.Tables {
-	if c.cfg.Hysteresis <= 0 {
-		return c.sel.Snapshot()
-	}
-	n := c.tb.N()
-	t := route.Tables{
-		LossVia: make([][]int, n),
-		LatVia:  make([][]int, n),
-	}
-	for i := 0; i < n; i++ {
-		t.LossVia[i] = make([]int, n)
-		t.LatVia[i] = make([]int, n)
-		for j := 0; j < n; j++ {
-			if i == j {
-				t.LossVia[i][j], t.LatVia[i][j] = -1, -1
-				continue
-			}
-			t.LossVia[i][j] = c.sel.BestLossStable(i, j).Via
-			t.LatVia[i][j] = c.sel.BestLatStable(i, j).Via
-		}
-	}
-	return t
+	// would. SnapshotInto honors configured hysteresis.
+	c.sel.SnapshotInto(&c.tables)
 }
 
 // measureGap draws the §4.1 inter-probe pause.
@@ -145,46 +144,70 @@ func (c *campaign) measureGap() netsim.Time {
 	return netsim.Time(c.rng.Uniform(lo, hi))
 }
 
-// loop drains the event queue until the virtual campaign ends.
+// loop merges the implicit probe stream with the event queue in global
+// (t, seq) order until the virtual campaign ends. Probe firings carry
+// real sequence numbers drawn from the queue's counter at exactly the
+// moments the retired all-in-one-queue engine pushed them (seeding, and
+// each prior firing — after any follow-up push, matching the old push
+// order inside the probe handler), so the merged order is identical to
+// the old engine's for every configuration, including probe intervals
+// that collide exactly with follow-up or measurement times.
 func (c *campaign) loop() {
-	for c.queue.len() > 0 {
+	// The queue head is cached across iterations and re-read only after
+	// a queue mutation (pop, or a handler that pushed); probe-stream
+	// iterations that push nothing skip the peek entirely.
+	qt, qSeq, qOK := c.queue.peek()
+	for {
+		pt, pSeq, pOK := c.probes.peek()
+		if pOK && pt >= c.end {
+			pOK = false // stream ended; drain the queue
+		}
+		if pOK && (!qOK || pt < qt || (pt == qt && pSeq < qSeq)) {
+			a, b := c.probes.pair()
+			pushed := c.ronProbe(pt, int(a), int(b))
+			c.probes.advance(c.queue.takeSeq())
+			if pushed {
+				qt, qSeq, qOK = c.queue.peek()
+			}
+			continue
+		}
+		if !qOK {
+			return
+		}
 		e := c.queue.pop()
-		if e.t >= c.end {
-			continue // past the end; drop (queue drains quickly)
+		if e.t < c.end {
+			switch e.kind {
+			case evRONFollowUp:
+				c.ronFollowUp(e.t, int(e.a), int(e.b), e.k)
+			case evTableRefresh:
+				c.refreshTables()
+				c.queue.push(event{
+					t:    e.t + c.refreshIvl,
+					kind: evTableRefresh,
+				})
+			case evMeasure:
+				c.measure(e.t, int(e.a))
+				c.queue.push(event{t: e.t + c.measureGap(), kind: evMeasure, a: e.a})
+			}
 		}
-		switch e.kind {
-		case evRONProbe:
-			c.ronProbe(e.t, int(e.a), int(e.b))
-			c.queue.push(event{
-				t:    e.t + netsim.FromDuration(c.cfg.ProbeInterval),
-				kind: evRONProbe, a: e.a, b: e.b,
-			})
-		case evRONFollowUp:
-			c.ronFollowUp(e.t, int(e.a), int(e.b), e.k)
-		case evTableRefresh:
-			c.refreshTables()
-			c.queue.push(event{
-				t:    e.t + netsim.FromDuration(c.cfg.TableRefresh),
-				kind: evTableRefresh,
-			})
-		case evMeasure:
-			c.measure(e.t, int(e.a))
-			c.queue.push(event{t: e.t + c.measureGap(), kind: evMeasure, a: e.a})
-		}
+		qt, qSeq, qOK = c.queue.peek()
 	}
 }
 
 // ronProbe sends one §3.1 routing probe on the direct virtual link s→d
 // and folds the outcome into the selector. A loss triggers the follow-up
-// string.
-func (c *campaign) ronProbe(t netsim.Time, s, d int) {
+// string; the return value reports whether an event was pushed (so the
+// loop knows its cached queue head is stale).
+func (c *campaign) ronProbe(t netsim.Time, s, d int) bool {
 	c.res.RONProbes++
 	o := c.nw.Send(t, netsim.Direct(s, d))
 	c.sel.Record(s, d, !o.Delivered, o.Latency.Duration())
 	if !o.Delivered {
 		c.queue.push(event{t: t + netsim.Second, kind: evRONFollowUp,
 			a: int32(s), b: int32(d), k: 1})
+		return true
 	}
+	return false
 }
 
 // ronFollowUp sends the k-th of up to four 1s-spaced probes after a loss,
@@ -199,23 +222,14 @@ func (c *campaign) ronFollowUp(t netsim.Time, s, d int, k uint8) {
 	}
 }
 
-// refreshTables recomputes routing tables and tallies changes.
+// refreshTables recomputes routing tables into the scratch buffer,
+// tallies changes, and swaps it in — no per-refresh allocation.
 func (c *campaign) refreshTables() {
-	next := c.snapshotTables()
-	if c.tables.LossVia != nil {
-		n := c.tb.N()
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				if next.LossVia[i][j] != c.tables.LossVia[i][j] {
-					c.res.RouteChanges++
-				}
-				if next.LatVia[i][j] != c.tables.LatVia[i][j] {
-					c.res.RouteChanges++
-				}
-			}
-		}
+	c.sel.SnapshotInto(&c.scratch)
+	if !c.tables.Empty() {
+		c.res.RouteChanges += c.tables.Diff(&c.scratch)
 	}
-	c.tables = next
+	c.tables, c.scratch = c.scratch, c.tables
 }
 
 // resolve maps a tactic to a concrete route for src→dst under current
@@ -228,12 +242,12 @@ func (c *campaign) resolve(tac route.Tactic, src, dst int) netsim.Route {
 		via := c.randVia(src, dst)
 		return netsim.Indirect(src, dst, via)
 	case route.Lat:
-		if via := c.tables.LatVia[src][dst]; via >= 0 {
+		if via := c.tables.LatVia(src, dst); via >= 0 {
 			return netsim.Indirect(src, dst, via)
 		}
 		return netsim.Direct(src, dst)
 	case route.Loss:
-		if via := c.tables.LossVia[src][dst]; via >= 0 {
+		if via := c.tables.LossVia(src, dst); via >= 0 {
 			return netsim.Indirect(src, dst, via)
 		}
 		return netsim.Direct(src, dst)
@@ -258,8 +272,12 @@ func (c *campaign) randVia(src, dst int) int {
 // and record the observation.
 func (c *campaign) measure(t netsim.Time, s int) {
 	m := c.perNodeMethod[s]
-	c.perNodeMethod[s] = (m + 1) % len(c.methods)
-	method := c.methods[m]
+	if next := m + 1; next == len(c.methods) {
+		c.perNodeMethod[s] = 0
+	} else {
+		c.perNodeMethod[s] = next
+	}
+	method := &c.methods[m]
 
 	d := c.rng.Intn(c.tb.N() - 1)
 	if d >= s {
@@ -283,14 +301,20 @@ func (c *campaign) measure(t netsim.Time, s int) {
 			sendAt = t + netsim.FromDuration(method.Gap)
 		}
 		r := c.resolve(tac, s, d)
-		c.emitTrace(trace.KindSend, s, d, probeID, sendAt, m, tac, i, method.Copies(), r.Via)
+		// The nil-sink check lives at the call sites so the traceless
+		// hot path does not evaluate emitTrace's argument list.
+		if c.cfg.TraceSink != nil {
+			c.emitTrace(trace.KindSend, s, d, probeID, sendAt, m, tac, i, method.Copies(), r.Via)
+		}
 		o := c.nw.Send(sendAt, r)
 		if !o.Delivered {
 			obs.Lost[i] = true
 			continue
 		}
 		lat := o.Latency.Duration()
-		c.emitTrace(trace.KindRecv, d, s, probeID, sendAt+o.Latency, m, tac, i, method.Copies(), r.Via)
+		if c.cfg.TraceSink != nil {
+			c.emitTrace(trace.KindRecv, d, s, probeID, sendAt+o.Latency, m, tac, i, method.Copies(), r.Via)
+		}
 		if c.cfg.roundTrip() {
 			lat += c.reverseLatency(sendAt+o.Latency, d, s)
 		}
@@ -300,12 +324,10 @@ func (c *campaign) measure(t netsim.Time, s int) {
 	c.agg.Observe(obs)
 }
 
-// emitTrace forwards one §4.1 log record to the configured sink.
+// emitTrace forwards one §4.1 log record to the configured sink. Callers
+// check TraceSink for nil first.
 func (c *campaign) emitTrace(kind trace.Kind, node, peer int, id uint64,
 	at netsim.Time, method int, tac route.Tactic, copyIdx, copies, via int) {
-	if c.cfg.TraceSink == nil {
-		return
-	}
 	v := wire.NoNode
 	if via >= 0 {
 		v = wire.NodeID(via)

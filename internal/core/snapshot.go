@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/route"
 )
 
 // Cell snapshots persist a finished cell campaign — its identity, run
@@ -88,6 +89,12 @@ type CellSnapshot struct {
 	RouteChanges  int64 `json:"routeChanges"`
 
 	agg *analysis.Aggregator
+	// aggCodec is the aggregator payload's codec version (set when the
+	// snapshot is read or captured). Restore gates on it: v1 snapshots
+	// of cells with a non-default LossWindow were computed by an engine
+	// that silently ignored the -losswindow axis, so their contents are
+	// default-window results mislabeled by the cell name.
+	aggCodec uint8
 }
 
 // NewCellSnapshot captures a finished cell's result. The result's
@@ -96,6 +103,7 @@ type CellSnapshot struct {
 func NewCellSnapshot(c Cell, res *Result) *CellSnapshot {
 	return &CellSnapshot{
 		Version:       SnapshotVersion,
+		aggCodec:      analysis.SnapshotCodecVersion,
 		Name:          c.Name(),
 		Seed:          c.Seed,
 		Dataset:       c.Dataset.String(),
@@ -216,6 +224,7 @@ func ReadCellSnapshot(path string) (*CellSnapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: cell snapshot %s: %w", path, err)
 	}
+	snap.aggCodec = body[off] // payload leads with its codec version
 	if agg.Hosts() != snap.Hosts {
 		return nil, corrupt(fmt.Sprintf("metadata says %d hosts, aggregator has %d", snap.Hosts, agg.Hosts()))
 	}
@@ -295,6 +304,15 @@ func (s *CellSnapshot) Restore(cfg Config) (*Result, error) {
 		if m.Name != s.Methods[i] {
 			return nil, mismatch(fmt.Sprintf("method %d", i), s.Methods[i], m.Name)
 		}
+	}
+	// Engines before aggregator codec v2 ignored the LossWindow axis:
+	// a v1 snapshot named for a non-default window actually holds
+	// default-window results. Refuse to resume from it so the cell is
+	// recomputed rather than silently merged as mislabeled data.
+	if s.LossWindow > 0 && s.LossWindow != route.DefaultLossWindow && s.aggCodec < 2 {
+		return nil, fmt.Errorf(
+			"core: snapshot %s: written by an engine that ignored the -losswindow axis (aggregator codec v%d); recompute this cell",
+			s.Name, s.aggCodec)
 	}
 	return &Result{
 		Config:        cfg,

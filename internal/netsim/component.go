@@ -39,7 +39,7 @@ type Component struct {
 	seed   uint64
 	class  ComponentClass
 	params ComponentParams
-	rng    *Source
+	rng    Source
 	// global, when non-nil, is the network-wide congestion weather
 	// shared by all components (§2.4's correlated failure sources).
 	global *globalModulator
@@ -65,25 +65,48 @@ type Component struct {
 	latInflate Time
 	nextLat    Time
 
+	// nextAny caches min(nextCong, nextOutage, nextEpisode, nextLat) so
+	// the per-traversal advance fast path is a single comparison; it is
+	// recomputed whenever any timer moves.
+	nextAny Time
+
+	// jitterMeanF/queueMeanF are the delay means pre-converted to
+	// float64 once, for the per-traversal exponential draws.
+	jitterMeanF float64
+	queueMeanF  float64
+
 	// Counters for attribution and tests.
 	bursts   int64
 	outages  int64
 	episodes int64
 }
 
-// newComponent creates a component at virtual time 0 in the good/up state
-// with all next events drawn from the stationary processes.
+// newComponent creates a standalone component (tests and tools);
+// Network slab-allocates its components and uses init directly.
 func newComponent(id ComponentID, seed uint64, class ComponentClass,
 	prof *Profile, params ComponentParams, global *globalModulator) *Component {
+	c := &Component{}
+	c.init(id, seed, class, prof, params, global)
+	return c
+}
+
+// init constructs a component in place at virtual time 0 in the good/up
+// state with all next events drawn from the stationary processes
+// (components are slab-allocated per Network).
+func (c *Component) init(id ComponentID, seed uint64, class ComponentClass,
+	prof *Profile, params ComponentParams, global *globalModulator) {
 	params.MeanGood = prof.effectiveMeanGood(class, params.MeanGood)
-	c := &Component{
+	*c = Component{
 		id:     id,
 		seed:   seed,
 		class:  class,
 		params: params,
-		rng:    NewSource(seed),
 		global: global,
+
+		jitterMeanF: float64(params.JitterMean),
+		queueMeanF:  float64(params.QueueMean),
 	}
+	c.rng.Seed(seed)
 	c.nextCong = c.drawGoodEnd(0)
 	if params.MeanUp > 0 {
 		c.nextOutage = Time(c.rng.Exp(float64(params.MeanUp)))
@@ -100,7 +123,22 @@ func newComponent(id ComponentID, seed uint64, class ComponentClass,
 	} else {
 		c.nextLat = never
 	}
-	return c
+	c.refreshNextAny()
+}
+
+// refreshNextAny recomputes the cached earliest pending event.
+func (c *Component) refreshNextAny() {
+	next := c.nextCong
+	if c.nextOutage < next {
+		next = c.nextOutage
+	}
+	if c.nextEpisode < next {
+		next = c.nextEpisode
+	}
+	if c.nextLat < next {
+		next = c.nextLat
+	}
+	c.nextAny = next
 }
 
 // drawGoodEnd returns the end time of a good period starting at t, under
@@ -140,24 +178,26 @@ func (c *Component) drawBurst(t Time) {
 	c.severity = c.rng.Uniform(c.params.DropProbMin, c.params.DropProbMax)
 }
 
-// advance evolves every process up to time t, handling events in
+// advance evolves every process up to time t. The common case — no
+// process event between two packets — is a pair of comparisons against
+// the cached nextAny; it stays under the inlining budget so Transit
+// pays no call in that case. Events are handled by advanceSlow in
 // chronological order.
 func (c *Component) advance(t Time) {
 	if t <= c.now {
 		return
 	}
+	if t < c.nextAny {
+		c.now = t
+		return
+	}
+	c.advanceSlow(t)
+}
+
+func (c *Component) advanceSlow(t Time) {
 	for {
 		// Find the earliest pending event not after t.
-		next := c.nextCong
-		if c.nextOutage < next {
-			next = c.nextOutage
-		}
-		if c.nextEpisode < next {
-			next = c.nextEpisode
-		}
-		if c.nextLat < next {
-			next = c.nextLat
-		}
+		next := c.nextAny
 		if next > t {
 			break
 		}
@@ -220,6 +260,7 @@ func (c *Component) advance(t Time) {
 				c.nextLat = next + Time(c.rng.Exp(float64(c.params.LatEpisodeMean)))
 			}
 		}
+		c.refreshNextAny()
 	}
 	c.now = t
 }
@@ -235,13 +276,29 @@ func (c *Component) Transit(t Time, pktKey uint64, travIdx uint64) (drop bool, d
 	if c.down {
 		return true, 0
 	}
-	key := combine(c.seed, pktKey, travIdx)
-	delay = Time(hashExp(key^0x9E37, float64(c.params.JitterMean)))
-	if c.congested {
-		if hash01(key) < c.severity {
-			return true, 0
+	key := transitKey(c.seed, pktKey, travIdx)
+	// Per-packet draws are stateless hashes of key, so the drop decision
+	// can run before the jitter draw: a congestion-dropped packet skips
+	// its (discarded) delay computation without perturbing any other
+	// packet's outcome. The exponential draws are hashExp inlined by
+	// hand — same expressions, pre-converted means — because the two
+	// calls are the innermost per-packet arithmetic in the simulator.
+	if c.congested && hash01(key) < c.severity {
+		return true, 0
+	}
+	if c.jitterMeanF > 0 {
+		u := hash01(key ^ 0x9E37)
+		if u <= 0 {
+			u = 1.0 / (1 << 53)
 		}
-		delay += Time(hashExp(key^0xC2B2, float64(c.params.QueueMean)))
+		delay = Time(-c.jitterMeanF * math.Log(u))
+	}
+	if c.congested && c.queueMeanF > 0 {
+		u := hash01(key ^ 0xC2B2)
+		if u <= 0 {
+			u = 1.0 / (1 << 53)
+		}
+		delay += Time(-c.queueMeanF * math.Log(u))
 	}
 	if c.latActive {
 		delay += c.latInflate
@@ -280,6 +337,7 @@ func (c *Component) ForceDown(from Time, duration Time) {
 		c.outages++
 	}
 	c.nextOutage = from + duration
+	c.refreshNextAny()
 }
 
 // ForceCongestion injects a deterministic loss burst with the given drop
@@ -293,4 +351,5 @@ func (c *Component) ForceCongestion(from Time, duration Time, severity float64) 
 	}
 	c.severity = severity
 	c.nextCong = from + duration
+	c.refreshNextAny()
 }

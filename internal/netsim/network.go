@@ -26,6 +26,12 @@ type Network struct {
 	bb      [][]*Component // upper-triangular: bb[i][j] for i<j
 	all     []*Component
 	nextPkt uint64
+	// base[i*n+j] is the precomputed direct-path propagation floor
+	// (geographic one-way delay × route inflation) for the pair, the
+	// per-hop constant every simulated packet adds. It is derived once
+	// from inflate so the hot path reads a flat array instead of
+	// recomputing the float product per traversal.
+	base []Time
 	// inflate[i][j] is the static route-inflation factor of the direct
 	// i↔j path: BGP policy routing frequently takes detours, so the
 	// direct path's propagation delay exceeds the geographic floor and
@@ -46,6 +52,11 @@ func New(tb *topo.Testbed, prof *Profile, seed uint64) *Network {
 	n := tb.N()
 	nw := &Network{tb: tb, prof: prof, seed: seed}
 	nw.global = newGlobalModulator(combine(seed, 0x61, 0x0BA1), prof.Global)
+	// All components live in one slab: a network is built per sweep
+	// cell, so construction cost (and allocator pressure) scales with
+	// the grid.
+	slab := make([]Component, n+n*(n-1)/2)
+	nw.all = make([]*Component, 0, len(slab))
 	nw.access = make([]*Component, n)
 	var id ComponentID
 	for i := 0; i < n; i++ {
@@ -54,7 +65,8 @@ func New(tb *topo.Testbed, prof *Profile, seed uint64) *Network {
 			panic(fmt.Sprintf("netsim: no params for access class %v",
 				tb.Host(i).Access))
 		}
-		c := newComponent(id, combine(seed, 0xACCE55, uint64(i)),
+		c := &slab[id]
+		c.init(id, combine(seed, 0xACCE55, uint64(i)),
 			ClassAccess, prof, params, nw.global)
 		nw.access[i] = c
 		nw.all = append(nw.all, c)
@@ -70,8 +82,8 @@ func New(tb *topo.Testbed, prof *Profile, seed uint64) *Network {
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			params := nw.backboneParams(i, j)
-			c := newComponent(id,
-				combine(seed, 0xBBBB, uint64(i)<<16|uint64(j)),
+			c := &slab[id]
+			c.init(id, combine(seed, 0xBBBB, uint64(i)<<16|uint64(j)),
 				ClassBackbone, prof, params, nw.global)
 			nw.bb[i][j] = c
 			nw.bb[j][i] = c
@@ -81,6 +93,14 @@ func New(tb *topo.Testbed, prof *Profile, seed uint64) *Network {
 			f := drawInflation(infRng)
 			nw.inflate[i][j] = f
 			nw.inflate[j][i] = f
+		}
+	}
+	nw.base = make([]Time, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				nw.base[i*n+j] = Time(float64(nw.tb.BaseOneWay(i, j)) * nw.inflate[i][j])
+			}
 		}
 	}
 	return nw
@@ -103,7 +123,7 @@ func drawInflation(rng *Source) float64 {
 // pairBase returns the direct-path propagation floor between i and j,
 // including route inflation.
 func (nw *Network) pairBase(i, j int) Time {
-	return Time(float64(nw.tb.BaseOneWay(i, j)) * nw.inflate[i][j])
+	return nw.base[i*nw.tb.N()+j]
 }
 
 // backboneParams picks the backbone parameter set for a host pair based on
@@ -157,15 +177,17 @@ func Indirect(src, dst, via int) Route { return Route{Src: src, Dst: dst, Via: v
 func (r Route) IsDirect() bool { return r.Via < 0 }
 
 // Valid reports whether the route's endpoints are distinct, in range, and
-// the intermediate (if any) differs from both.
+// the intermediate (if any) differs from both. The unsigned compares
+// fold each 0 ≤ x < n range test into one branch — this runs on every
+// simulated packet.
 func (r Route) Valid(n int) bool {
-	if r.Src < 0 || r.Src >= n || r.Dst < 0 || r.Dst >= n || r.Src == r.Dst {
+	if uint(r.Src) >= uint(n) || uint(r.Dst) >= uint(n) || r.Src == r.Dst {
 		return false
 	}
-	if r.Via >= 0 && (r.Via >= n || r.Via == r.Src || r.Via == r.Dst) {
-		return false
+	if r.Via < 0 {
+		return r.Via == -1
 	}
-	return r.Via >= -1 && r.Via < n
+	return uint(r.Via) < uint(n) && r.Via != r.Src && r.Via != r.Dst
 }
 
 // String renders "3→7" or "3→7 via 12".
@@ -226,55 +248,55 @@ func (nw *Network) SendKeyed(t Time, r Route, pktKey uint64) Outcome {
 	if !r.Valid(nw.tb.N()) {
 		panic(fmt.Sprintf("netsim: invalid route %v for %d hosts", r, nw.tb.N()))
 	}
-	type traversal struct {
-		c    *Component
-		base Time // propagation delay accrued before this component
-	}
-	// Assemble the traversal sequence. Each underlay hop crosses the
-	// sender's access complex, the pair's backbone segment (which owns
-	// the hop's propagation delay), and the receiver's access complex.
-	// An indirect route therefore crosses the intermediate's access
-	// twice — inbound and outbound — separated by the overlay node's
+	// The traversal sequence is unrolled per route shape (this is the
+	// innermost simulator loop). Each underlay hop crosses the sender's
+	// access complex, the pair's backbone segment (which owns the hop's
+	// propagation delay), and the receiver's access complex. An
+	// indirect route therefore crosses the intermediate's access twice
+	// — inbound and outbound — separated by the overlay node's
 	// forwarding delay; that shared crossing is a deliberate part of
 	// the model (§2.4's shared edge infrastructure).
-	var travs [6]traversal
-	nt := 0
-	add := func(c *Component, base Time) {
-		travs[nt] = traversal{c, base}
-		nt++
-	}
-	bbOf := func(a, b int) *Component {
-		if a > b {
-			a, b = b, a
-		}
-		return nw.bb[a][b]
-	}
-	if r.IsDirect() {
-		add(nw.access[r.Src], 0)
-		add(bbOf(r.Src, r.Dst), nw.pairBase(r.Src, r.Dst))
-		add(nw.access[r.Dst], 0)
-	} else {
-		add(nw.access[r.Src], 0)
-		add(bbOf(r.Src, r.Via), nw.pairBase(r.Src, r.Via))
-		add(nw.access[r.Via], 0)
-		add(nw.access[r.Via], Time(nw.prof.ForwardingDelay))
-		add(bbOf(r.Via, r.Dst), nw.pairBase(r.Via, r.Dst))
-		add(nw.access[r.Dst], 0)
-	}
-
 	var lat Time
-	for i := 0; i < nt; i++ {
-		tr := travs[i]
-		lat += tr.base
-		drop, extra := tr.c.Transit(t+lat, pktKey, uint64(i))
+	var drop bool
+	var extra Time
+	step := func(c *Component, base Time, idx uint64) (*Component, bool) {
+		lat += base
+		drop, extra = c.Transit(t+lat, pktKey, idx)
 		if drop {
-			return Outcome{
-				Delivered: false,
-				DroppedAt: tr.c.id,
-				DropClass: tr.c.class,
-			}
+			return c, true
 		}
 		lat += extra
+		return nil, false
+	}
+	if r.IsDirect() {
+		if c, dropped := step(nw.access[r.Src], 0, 0); dropped {
+			return Outcome{DroppedAt: c.id, DropClass: c.class}
+		}
+		if c, dropped := step(nw.bb[r.Src][r.Dst], nw.pairBase(r.Src, r.Dst), 1); dropped {
+			return Outcome{DroppedAt: c.id, DropClass: c.class}
+		}
+		if c, dropped := step(nw.access[r.Dst], 0, 2); dropped {
+			return Outcome{DroppedAt: c.id, DropClass: c.class}
+		}
+		return Outcome{Delivered: true, Latency: lat, DroppedAt: NoComponent}
+	}
+	if c, dropped := step(nw.access[r.Src], 0, 0); dropped {
+		return Outcome{DroppedAt: c.id, DropClass: c.class}
+	}
+	if c, dropped := step(nw.bb[r.Src][r.Via], nw.pairBase(r.Src, r.Via), 1); dropped {
+		return Outcome{DroppedAt: c.id, DropClass: c.class}
+	}
+	if c, dropped := step(nw.access[r.Via], 0, 2); dropped {
+		return Outcome{DroppedAt: c.id, DropClass: c.class}
+	}
+	if c, dropped := step(nw.access[r.Via], Time(nw.prof.ForwardingDelay), 3); dropped {
+		return Outcome{DroppedAt: c.id, DropClass: c.class}
+	}
+	if c, dropped := step(nw.bb[r.Via][r.Dst], nw.pairBase(r.Via, r.Dst), 4); dropped {
+		return Outcome{DroppedAt: c.id, DropClass: c.class}
+	}
+	if c, dropped := step(nw.access[r.Dst], 0, 5); dropped {
+		return Outcome{DroppedAt: c.id, DropClass: c.class}
 	}
 	return Outcome{Delivered: true, Latency: lat, DroppedAt: NoComponent}
 }

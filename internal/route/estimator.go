@@ -34,6 +34,13 @@ func NewLossWindow(size int) *LossWindow {
 	return &LossWindow{ring: make([]bool, size), size: size}
 }
 
+// initShared points the window at a caller-owned ring slice, letting a
+// selector back all n² windows with one dense allocation.
+func (w *LossWindow) initShared(ring []bool) {
+	w.ring = ring
+	w.size = len(ring)
+}
+
 // Record adds one probe outcome.
 func (w *LossWindow) Record(lost bool) {
 	if w.filled == w.size {
@@ -47,7 +54,9 @@ func (w *LossWindow) Record(lost bool) {
 	if lost {
 		w.losses++
 	}
-	w.next = (w.next + 1) % w.size
+	if w.next++; w.next == w.size {
+		w.next = 0
+	}
 }
 
 // Rate returns the loss fraction over the window. With no samples it
@@ -112,9 +121,13 @@ func (e *LatencyEWMA) Reset() { e.value, e.valid = 0, false }
 // virtual link (an overlay node pair). Links a node measures itself are
 // fed with Record; links learned from other nodes' link-state gossip are
 // fed with SetSummary. The two modes are exclusive per link.
+//
+// The window and EWMA are embedded by value so a selector can hold all
+// n² estimates in one flat slice; the zero value is not usable —
+// construct with NewLinkEstimate (or, inside a Selector, init).
 type LinkEstimate struct {
-	Loss    *LossWindow
-	Latency *LatencyEWMA
+	Loss    LossWindow
+	Latency LatencyEWMA
 	// consecutiveLosses counts probe losses since the last success;
 	// DeadThreshold or more marks the link failed for the lat metric.
 	consecutiveLosses int
@@ -131,10 +144,15 @@ type LinkEstimate struct {
 
 // NewLinkEstimate creates an estimate with default-size window and EWMA.
 func NewLinkEstimate() *LinkEstimate {
-	return &LinkEstimate{
-		Loss:    NewLossWindow(0),
-		Latency: NewLatencyEWMA(0),
-	}
+	le := &LinkEstimate{}
+	le.init(make([]bool, DefaultLossWindow))
+	return le
+}
+
+// init readies an estimate in place over a caller-owned ring slice.
+func (le *LinkEstimate) init(ring []bool) {
+	le.Loss.initShared(ring)
+	le.Latency.alpha = DefaultEWMAAlpha
 }
 
 // Record folds in one probe outcome. Lost probes carry no latency.

@@ -293,14 +293,18 @@ func TestUnmeasuredLinksNotAttractive(t *testing.T) {
 func TestSnapshotConsistent(t *testing.T) {
 	s := feedSelector()
 	tab := s.Snapshot()
-	if got := tab.LossVia[0][1]; got != s.BestLoss(0, 1).Via {
+	if got := tab.LossVia(0, 1); got != s.BestLoss(0, 1).Via {
 		t.Errorf("snapshot loss via = %d, want %d", got, s.BestLoss(0, 1).Via)
 	}
-	if got := tab.LatVia[0][1]; got != s.BestLat(0, 1).Via {
+	if got := tab.LatVia(0, 1); got != s.BestLat(0, 1).Via {
 		t.Errorf("snapshot lat via = %d, want %d", got, s.BestLat(0, 1).Via)
 	}
-	if tab.LossVia[2][2] != -1 || tab.LatVia[1][1] != -1 {
+	if tab.LossVia(2, 2) != -1 || tab.LatVia(1, 1) != -1 {
 		t.Error("diagonal must be -1")
+	}
+	// A second SnapshotInto into the same tables must not allocate.
+	if allocs := testing.AllocsPerRun(10, func() { s.SnapshotInto(&tab) }); allocs != 0 {
+		t.Errorf("SnapshotInto allocated %.0f times per run, want 0", allocs)
 	}
 }
 

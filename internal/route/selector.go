@@ -2,6 +2,7 @@ package route
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -33,10 +34,18 @@ func (c Choice) String() string {
 // It is deliberately transport-agnostic: both the simulation campaign and
 // the real overlay node feed it probe outcomes.
 //
+// Storage is flat and dense: link state lives in a single []LinkEstimate
+// indexed src*n+dst (one backing ring buffer shared by every loss
+// window), and Snapshot writes into reusable flat []int32 tables. The
+// campaign's table refresh is the selector's hot path — an O(n³) scan
+// per refresh — so SnapshotInto first caches every link's loss rate,
+// latency estimate, and dead flag once (O(n²) divisions instead of
+// O(n³)) and runs the pair scan over those flat arrays.
+//
 // Selector is not safe for concurrent use.
 type Selector struct {
 	n   int
-	est [][]*LinkEstimate // est[src][dst], nil on the diagonal
+	est []LinkEstimate // est[src*n+dst]; diagonal entries are unused
 	// fallbackLat is the latency charged to links with no samples yet,
 	// so that unmeasured paths are not spuriously attractive.
 	fallbackLat time.Duration
@@ -45,39 +54,95 @@ type Selector struct {
 	// the selection moves (RON used a similar mechanism to keep routes
 	// stable under measurement noise). State is kept per ordered pair.
 	hysteresis float64
-	prevLoss   [][]int // last chosen via per pair, -1 = direct
-	prevLat    [][]int
+	prevLoss   []int32 // last chosen via per pair, -1 = direct
+	prevLat    []int32
+
+	// Snapshot scratch, reused across refreshes: per-link metrics
+	// cached by refreshMetrics so the O(n³) pair scan reads flat
+	// float/duration arrays instead of re-deriving each estimate O(n)
+	// times through the LinkEstimate interface.
+	mLoss []float64
+	mLat  []time.Duration
+	mDead []bool
+	// mLatAdj mirrors mLat with dead links pinned to latDead, letting
+	// the latency scan drop its per-via dead-flag branches: a path over
+	// a dead link sums to ≥ latDead and can never undercut a live one.
+	mLatAdj []time.Duration
+	// colLoss/colLat/colLatAdj hold the metrics column of the
+	// destination currently being snapshotted, so the O(n) via scans
+	// read contiguous arrays instead of strided ones.
+	colLoss   []float64
+	colLat    []time.Duration
+	colLatAdj []time.Duration
 }
 
-// NewSelector creates a selector for an n-node mesh.
-func NewSelector(n int) *Selector {
+// latDead is the sentinel latency of a dead link in mLatAdj: far above
+// any real estimate, and small enough that summing two of them cannot
+// overflow. Diagonal (self-link) entries carry the same sentinel — and
+// +Inf in mLoss — so the via scans need no src/dst skip branches: a
+// path "via" one of its own endpoints composes a sentinel and loses
+// every comparison.
+const latDead = time.Duration(1) << 61
+
+// NewSelector creates a selector for an n-node mesh with the paper's
+// default 100-probe selection window.
+func NewSelector(n int) *Selector { return NewSelectorWindow(n, 0) }
+
+// NewSelectorWindow creates a selector whose per-link loss windows hold
+// the given number of probes ("the average loss rate over the last 100
+// probes", §3.1); window <= 0 selects DefaultLossWindow.
+func NewSelectorWindow(n, window int) *Selector {
 	if n < 2 {
 		panic("route: selector needs at least 2 nodes")
 	}
+	if window <= 0 {
+		window = DefaultLossWindow
+	}
 	s := &Selector{n: n, fallbackLat: 500 * time.Millisecond}
-	s.est = make([][]*LinkEstimate, n)
-	for i := range s.est {
-		s.est[i] = make([]*LinkEstimate, n)
-		for j := range s.est[i] {
-			if i != j {
-				s.est[i][j] = NewLinkEstimate()
+	s.est = make([]LinkEstimate, n*n)
+	// One backing array for every ring keeps the n² windows dense in
+	// memory and construction at O(1) allocations.
+	rings := make([]bool, n*n*window)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
 			}
+			idx := i*n + j
+			s.est[idx].init(rings[idx*window : (idx+1)*window])
 		}
 	}
+	s.mLoss = make([]float64, n*n)
+	s.mLat = make([]time.Duration, n*n)
+	s.mDead = make([]bool, n*n)
+	s.mLatAdj = make([]time.Duration, n*n)
+	for i := 0; i < n; i++ {
+		// refreshMetrics never touches the diagonal; pin the sentinels
+		// once (see latDead).
+		s.mLoss[i*n+i] = math.Inf(1)
+		s.mLatAdj[i*n+i] = latDead
+	}
+	s.colLoss = make([]float64, n)
+	s.colLat = make([]time.Duration, n)
+	s.colLatAdj = make([]time.Duration, n)
 	return s
 }
 
 // N returns the mesh size.
 func (s *Selector) N() int { return s.n }
 
-// Link returns the estimate for the directed link src→dst.
+// Link returns the estimate for the directed link src→dst, or nil on the
+// diagonal.
 func (s *Selector) Link(src, dst int) *LinkEstimate {
-	return s.est[src][dst]
+	if src == dst {
+		return nil
+	}
+	return &s.est[src*s.n+dst]
 }
 
 // Record folds one probe outcome for the directed link src→dst.
 func (s *Selector) Record(src, dst int, lost bool, lat time.Duration) {
-	s.est[src][dst].Record(lost, lat)
+	s.est[src*s.n+dst].Record(lost, lat)
 }
 
 // pathLoss composes two link loss rates into a path loss rate assuming
@@ -97,7 +162,7 @@ func pathLoss(a, b float64) float64 {
 // indirect candidates, ties break toward lower latency.
 func (s *Selector) BestLoss(src, dst int) Choice {
 	const eps = 1e-9
-	direct := s.est[src][dst]
+	direct := &s.est[src*s.n+dst]
 	directChoice := Choice{
 		Via:     -1,
 		Loss:    direct.LossRate(),
@@ -108,7 +173,7 @@ func (s *Selector) BestLoss(src, dst int) Choice {
 		if via == src || via == dst {
 			continue
 		}
-		l1, l2 := s.est[src][via], s.est[via][dst]
+		l1, l2 := &s.est[src*s.n+via], &s.est[via*s.n+dst]
 		loss := pathLoss(l1.LossRate(), l2.LossRate())
 		lat := l1.LatencyEstimate(s.fallbackLat) + l2.LatencyEstimate(s.fallbackLat)
 		if loss < best.Loss-eps ||
@@ -127,14 +192,14 @@ func (s *Selector) BestLoss(src, dst int) Choice {
 // failed links", §4). If every candidate path crosses a dead link, the
 // direct path is returned as a last resort.
 func (s *Selector) BestLat(src, dst int) Choice {
-	direct := s.est[src][dst]
+	direct := &s.est[src*s.n+dst]
 	best := Choice{Via: -1, Loss: direct.LossRate(), Latency: direct.LatencyEstimate(s.fallbackLat)}
 	bestAlive := !direct.Dead()
 	for via := 0; via < s.n; via++ {
 		if via == src || via == dst {
 			continue
 		}
-		l1, l2 := s.est[src][via], s.est[via][dst]
+		l1, l2 := &s.est[src*s.n+via], &s.est[via*s.n+dst]
 		if l1.Dead() || l2.Dead() {
 			continue
 		}
@@ -149,36 +214,261 @@ func (s *Selector) BestLat(src, dst int) Choice {
 }
 
 // Tables is a full routing snapshot: for every ordered pair, the selected
-// intermediate (-1 = direct) under each optimization goal.
+// intermediate (-1 = direct) under each optimization goal. Storage is a
+// pair of flat []int32 arrays indexed src*n+dst; the zero value is empty
+// and is (re)shaped by Selector.SnapshotInto without allocating once its
+// buffers reach mesh size.
 type Tables struct {
-	// LossVia[src][dst] and LatVia[src][dst] give the chosen
-	// intermediate, or -1 for the direct path.
-	LossVia [][]int
-	LatVia  [][]int
+	n       int
+	lossVia []int32
+	latVia  []int32
+}
+
+// N returns the mesh size the tables were computed for (0 when empty).
+func (t *Tables) N() int { return t.n }
+
+// Empty reports whether the tables have never been filled.
+func (t *Tables) Empty() bool { return len(t.lossVia) == 0 }
+
+// LossVia returns the loss-optimized intermediate for src→dst, or -1 for
+// the direct path.
+func (t *Tables) LossVia(src, dst int) int { return int(t.lossVia[src*t.n+dst]) }
+
+// LatVia returns the latency-optimized intermediate for src→dst, or -1
+// for the direct path.
+func (t *Tables) LatVia(src, dst int) int { return int(t.latVia[src*t.n+dst]) }
+
+// Diff counts entries that differ between two same-shape tables, summing
+// loss- and latency-table changes (the campaign's routing-dynamism
+// counter).
+func (t *Tables) Diff(o *Tables) int64 {
+	var changes int64
+	for i, v := range t.lossVia {
+		if v != o.lossVia[i] {
+			changes++
+		}
+	}
+	for i, v := range t.latVia {
+		if v != o.latVia[i] {
+			changes++
+		}
+	}
+	return changes
+}
+
+// reshape readies the tables for an n-node snapshot, reusing buffers.
+func (t *Tables) reshape(n int) {
+	t.n = n
+	if cap(t.lossVia) < n*n {
+		t.lossVia = make([]int32, n*n)
+		t.latVia = make([]int32, n*n)
+		return
+	}
+	t.lossVia = t.lossVia[:n*n]
+	t.latVia = t.latVia[:n*n]
 }
 
 // Snapshot computes routing tables for all ordered pairs. Campaigns call
 // this periodically (the paper's probing updates selections continuously;
-// a 15 s refresh matches the probe interval's information rate).
+// a 15 s refresh matches the probe interval's information rate). It
+// allocates a fresh Tables; the campaign hot path uses SnapshotInto with
+// a reused one.
 func (s *Selector) Snapshot() Tables {
-	t := Tables{
-		LossVia: make([][]int, s.n),
-		LatVia:  make([][]int, s.n),
-	}
-	for i := 0; i < s.n; i++ {
-		t.LossVia[i] = make([]int, s.n)
-		t.LatVia[i] = make([]int, s.n)
-		for j := 0; j < s.n; j++ {
-			if i == j {
-				t.LossVia[i][j] = -1
-				t.LatVia[i][j] = -1
+	var t Tables
+	s.SnapshotInto(&t)
+	return t
+}
+
+// SnapshotInto computes routing tables for all ordered pairs into t,
+// reusing t's buffers (zero allocations once t has mesh capacity). When
+// hysteresis is enabled the damped (BestLossStable/BestLatStable)
+// selections are used; without it the plain ones, identically to
+// Snapshot's historical behavior.
+func (s *Selector) SnapshotInto(t *Tables) {
+	n := s.n
+	t.reshape(n)
+	s.refreshMetrics()
+	// Destination-major order so each destination's metrics column is
+	// gathered once into contiguous scratch for the n src scans. The
+	// per-pair selections are independent, so iteration order does not
+	// affect the result.
+	for dst := 0; dst < n; dst++ {
+		for via := 0; via < n; via++ {
+			s.colLoss[via] = s.mLoss[via*n+dst]
+			s.colLat[via] = s.mLat[via*n+dst]
+			s.colLatAdj[via] = s.mLatAdj[via*n+dst]
+		}
+		for src := 0; src < n; src++ {
+			idx := src*n + dst
+			if src == dst {
+				t.lossVia[idx] = -1
+				t.latVia[idx] = -1
 				continue
 			}
-			t.LossVia[i][j] = s.BestLoss(i, j).Via
-			t.LatVia[i][j] = s.BestLat(i, j).Via
+			t.lossVia[idx] = int32(s.snapLossVia(src, dst))
+			t.latVia[idx] = int32(s.snapLatVia(src, dst))
 		}
 	}
-	return t
+}
+
+// refreshMetrics caches every link's loss rate, latency estimate, and
+// dead flag into the flat scratch arrays. The cached values are exactly
+// what LossRate/LatencyEstimate/Dead would return for the duration of
+// one snapshot (no probes are recorded mid-snapshot), so selections
+// computed from the cache are bit-identical to ones computed through
+// the estimates — just without re-deriving each link O(n) times.
+func (s *Selector) refreshMetrics() {
+	n := s.n
+	for i := 0; i < n; i++ {
+		row := i * n
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			le := &s.est[row+j]
+			s.mLoss[row+j] = le.LossRate()
+			lat := le.LatencyEstimate(s.fallbackLat)
+			s.mLat[row+j] = lat
+			if dead := le.Dead(); dead {
+				s.mDead[row+j] = true
+				s.mLatAdj[row+j] = latDead
+			} else {
+				s.mDead[row+j] = false
+				s.mLatAdj[row+j] = lat
+			}
+		}
+	}
+}
+
+// bestLossCached is BestLoss over the refreshMetrics cache, carrying
+// only the scalars the comparisons need. The comparison structure
+// mirrors BestLoss exactly — same eps, same tie-breaks, same float
+// expression — so the two agree bit-for-bit.
+func (s *Selector) bestLossCached(src, dst int) Choice {
+	const eps = 1e-9
+	n := s.n
+	rowLoss := s.mLoss[src*n : src*n+n]
+	rowLat := s.mLat[src*n : src*n+n]
+	directLoss, directLat := rowLoss[dst], rowLat[dst]
+	// Quiet-mesh shortcut: loss rates are probabilities in [0,1], so
+	// every candidate's composed loss is ≥ 0 and the final direct-wins
+	// tie-break (direct ≤ best+eps) must fire when the direct path's
+	// own loss is ≤ eps. Most pairs are lossless most of the time, so
+	// this skips the via scan for the dominant case — with a result
+	// provably identical to running it.
+	if directLoss <= eps {
+		return Choice{Via: -1, Loss: directLoss, Latency: directLat}
+	}
+	colLoss, colLat := s.colLoss, s.colLat
+	bestVia, bestLoss, bestLat := -1, directLoss, directLat
+	// No via==src/dst skips: those positions read the diagonal
+	// sentinels (+Inf loss), whose composed loss compares false against
+	// everything (including via NaN when the other link is fully
+	// lossy), exactly like the explicit skip.
+	for via := 0; via < n; via++ {
+		loss := pathLoss(rowLoss[via], colLoss[via])
+		if loss < bestLoss-eps {
+			bestVia, bestLoss = via, loss
+			bestLat = rowLat[via] + colLat[via]
+			continue
+		}
+		if bestVia >= 0 && loss < bestLoss+eps {
+			if lat := rowLat[via] + colLat[via]; lat < bestLat {
+				bestVia, bestLoss, bestLat = via, loss, lat
+			}
+		}
+	}
+	if directLoss <= bestLoss+eps {
+		return Choice{Via: -1, Loss: directLoss, Latency: directLat}
+	}
+	return Choice{Via: bestVia, Loss: bestLoss, Latency: bestLat}
+}
+
+// bestLatCached is BestLat over the refreshMetrics cache.
+func (s *Selector) bestLatCached(src, dst int) Choice {
+	n := s.n
+	rowLoss := s.mLoss[src*n : src*n+n]
+	rowLat := s.mLat[src*n : src*n+n]
+	rowAdj := s.mLatAdj[src*n : src*n+n]
+	colLoss, colAdj := s.colLoss, s.colLatAdj
+	// Dead links carry the latDead sentinel, so the scan needs no dead
+	// branches: a path over a dead link sums to ≥ latDead and loses to
+	// every live candidate; a dead direct path starts the running best
+	// at ≥ latDead, which any live via undercuts (BestLat's
+	// "!bestAlive" escape). Selections match BestLat exactly.
+	bestVia, bestLat := -1, rowAdj[dst]
+	// No via==src/dst skips: those positions read the latDead diagonal
+	// sentinels, so their sums can never beat a live candidate (or even
+	// a dead direct path's own latDead start).
+	for via := 0; via < n; via++ {
+		lat := rowAdj[via] + colAdj[via]
+		if lat < bestLat {
+			bestVia, bestLat = via, lat
+		}
+	}
+	if bestVia < 0 {
+		return Choice{Via: -1, Loss: rowLoss[dst], Latency: rowLat[dst]}
+	}
+	return Choice{Via: bestVia,
+		Loss:    pathLoss(rowLoss[bestVia], colLoss[bestVia]),
+		Latency: bestLat}
+}
+
+// evalCached scores one candidate path from the metrics cache (the
+// cached twin of evaluate).
+func (s *Selector) evalCached(src, dst, via int) Choice {
+	n := s.n
+	if via < 0 {
+		return Choice{Via: -1, Loss: s.mLoss[src*n+dst], Latency: s.mLat[src*n+dst]}
+	}
+	return Choice{
+		Via:     via,
+		Loss:    pathLoss(s.mLoss[src*n+via], s.mLoss[via*n+dst]),
+		Latency: s.mLat[src*n+via] + s.mLat[via*n+dst],
+	}
+}
+
+// deadCached reports whether a candidate path crosses a dead link, from
+// the metrics cache.
+func (s *Selector) deadCached(src, dst, via int) bool {
+	n := s.n
+	if via < 0 {
+		return s.mDead[src*n+dst]
+	}
+	return s.mDead[src*n+via] || s.mDead[via*n+dst]
+}
+
+// snapLossVia picks the loss table entry for one pair during a snapshot:
+// BestLossStable's logic over the metrics cache.
+func (s *Selector) snapLossVia(src, dst int) int {
+	best := s.bestLossCached(src, dst)
+	if s.hysteresis <= 0 {
+		return best.Via
+	}
+	cur := int(s.prevLoss[src*s.n+dst])
+	held := s.evalCached(src, dst, cur)
+	if !s.deadCached(src, dst, cur) && !betterBy(best.Loss, held.Loss, s.hysteresis) {
+		return cur
+	}
+	s.prevLoss[src*s.n+dst] = int32(best.Via)
+	return best.Via
+}
+
+// snapLatVia picks the latency table entry for one pair during a
+// snapshot: BestLatStable's logic over the metrics cache.
+func (s *Selector) snapLatVia(src, dst int) int {
+	best := s.bestLatCached(src, dst)
+	if s.hysteresis <= 0 {
+		return best.Via
+	}
+	cur := int(s.prevLat[src*s.n+dst])
+	held := s.evalCached(src, dst, cur)
+	if !s.deadCached(src, dst, cur) &&
+		!betterBy(float64(best.Latency), float64(held.Latency), s.hysteresis) {
+		return cur
+	}
+	s.prevLat[src*s.n+dst] = int32(best.Via)
+	return best.Via
 }
 
 // FallbackLatency returns the latency charged to unmeasured links.
@@ -196,15 +486,11 @@ func (s *Selector) SetHysteresis(margin float64) {
 	}
 	s.hysteresis = margin
 	if margin > 0 && s.prevLoss == nil {
-		s.prevLoss = make([][]int, s.n)
-		s.prevLat = make([][]int, s.n)
+		s.prevLoss = make([]int32, s.n*s.n)
+		s.prevLat = make([]int32, s.n*s.n)
 		for i := range s.prevLoss {
-			s.prevLoss[i] = make([]int, s.n)
-			s.prevLat[i] = make([]int, s.n)
-			for j := range s.prevLoss[i] {
-				s.prevLoss[i][j] = -1
-				s.prevLat[i][j] = -1
-			}
+			s.prevLoss[i] = -1
+			s.prevLat[i] = -1
 		}
 	}
 }
@@ -212,11 +498,11 @@ func (s *Selector) SetHysteresis(margin float64) {
 // evaluate scores one candidate path.
 func (s *Selector) evaluate(src, dst, via int) Choice {
 	if via < 0 {
-		le := s.est[src][dst]
+		le := &s.est[src*s.n+dst]
 		return Choice{Via: -1, Loss: le.LossRate(),
 			Latency: le.LatencyEstimate(s.fallbackLat)}
 	}
-	l1, l2 := s.est[src][via], s.est[via][dst]
+	l1, l2 := &s.est[src*s.n+via], &s.est[via*s.n+dst]
 	return Choice{
 		Via:  via,
 		Loss: pathLoss(l1.LossRate(), l2.LossRate()),
@@ -228,9 +514,9 @@ func (s *Selector) evaluate(src, dst, via int) Choice {
 // pathDead reports whether a candidate path crosses a dead link.
 func (s *Selector) pathDead(src, dst, via int) bool {
 	if via < 0 {
-		return s.est[src][dst].Dead()
+		return s.est[src*s.n+dst].Dead()
 	}
-	return s.est[src][via].Dead() || s.est[via][dst].Dead()
+	return s.est[src*s.n+via].Dead() || s.est[via*s.n+dst].Dead()
 }
 
 // BestLossStable is BestLoss with hysteresis: the previously chosen path
@@ -242,12 +528,12 @@ func (s *Selector) BestLossStable(src, dst int) Choice {
 	if s.hysteresis <= 0 {
 		return best
 	}
-	cur := s.prevLoss[src][dst]
+	cur := int(s.prevLoss[src*s.n+dst])
 	held := s.evaluate(src, dst, cur)
 	if !s.pathDead(src, dst, cur) && !betterBy(best.Loss, held.Loss, s.hysteresis) {
 		return held
 	}
-	s.prevLoss[src][dst] = best.Via
+	s.prevLoss[src*s.n+dst] = int32(best.Via)
 	return best
 }
 
@@ -257,13 +543,13 @@ func (s *Selector) BestLatStable(src, dst int) Choice {
 	if s.hysteresis <= 0 {
 		return best
 	}
-	cur := s.prevLat[src][dst]
+	cur := int(s.prevLat[src*s.n+dst])
 	held := s.evaluate(src, dst, cur)
 	if !s.pathDead(src, dst, cur) &&
 		!betterBy(float64(best.Latency), float64(held.Latency), s.hysteresis) {
 		return held
 	}
-	s.prevLat[src][dst] = best.Via
+	s.prevLat[src*s.n+dst] = int32(best.Via)
 	return best
 }
 
