@@ -289,6 +289,35 @@ func BenchmarkSweep(b *testing.B) {
 				len(res.Cells), res.Parallel, res.Wall.Seconds(), merged.MeasureProbes)
 		})
 	}
+
+	// The loss-window band: a small -losswindow 0,25,100 grid, so the
+	// NewSelectorWindow path (cells whose selection window departs from
+	// the default) is perf-tracked alongside the default-window engine.
+	// Serial, so the number bands the per-cell cost, not pool speedup.
+	b.Run("losswindow-grid", func(b *testing.B) {
+		var res *core.SweepResult
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = core.RunSweep(core.SweepSpec{
+				Datasets: []core.Dataset{core.RONnarrow},
+				Days:     benchDays,
+				BaseSeed: 1,
+				Replicas: 2,
+				Axes:     []core.Axis{core.LossWindowAxis(0, 25, 100)},
+				Parallel: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		var probes int64
+		for gi := range res.Groups {
+			probes += res.Groups[gi].Merged.MeasureProbes
+		}
+		b.Logf("%d cells over windows {default,25,100}; %d measurement probes",
+			len(res.Cells), probes)
+	})
 }
 
 // --- Ablation benchmarks (design choices called out in DESIGN.md §5) ---

@@ -29,6 +29,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/experiment"
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/trace"
@@ -109,7 +110,10 @@ func aggregateTraces(names []string, hosts int, paths []string) (agg *analysis.A
 // missing — the normal state of a sharded sweep whose other shards have
 // not been copied in yet.
 func reportSweep(dir string) error {
-	m, err := core.ReadManifest(dir)
+	// LoadManifest reads any supported version — version 3's generic
+	// axes and the legacy fixed-axis formats alike; the group and cell
+	// records this tool consumes are normalized either way.
+	m, err := experiment.LoadManifest(dir)
 	if err != nil {
 		return err
 	}
@@ -199,13 +203,7 @@ func printTables(agg *analysis.Aggregator) {
 }
 
 func splitMethods(s string) []string {
-	parts := strings.Split(s, ",")
-	out := make([]string, 0, len(parts))
-	for _, p := range parts {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
-	}
+	out := experiment.SplitList(s)
 	if len(out) == 0 {
 		out = []string{"direct"}
 	}

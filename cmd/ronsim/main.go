@@ -8,14 +8,18 @@
 //	ronsim -dataset ron2003 -days 2 -seed 1 -out results/
 //	ronsim -all -days 1
 //
-// Sweep mode expands a grid of campaigns — datasets × profile overrides ×
-// hysteresis settings × probe intervals × loss windows × seed replicas —
-// runs the cells over a worker pool, and merges each grid point's
-// replicas into one set of tables:
+// Sweep mode expands a grid of campaigns — datasets × grid axes × seed
+// replicas — runs the cells over a worker pool, and merges each grid
+// point's replicas into one set of tables. The axis flags (-hysteresis,
+// -probeinterval, -losswindow, -tablerefresh, and the -lossscale ×
+// -edgeshare profile crossing) are derived from the experiment
+// package's axis registry; a newly registered axis gets its flag, cell
+// naming, seeding, snapshots, and manifest round-trips for free:
 //
 //	ronsim -sweep -replicas 8 -parallel 0 -days 0.5 -out results/
 //	ronsim -sweep -all -hysteresis 0,0.25 -lossscale 1,4 -replicas 4
 //	ronsim -sweep -probeinterval 0,30s -losswindow 0,50 -out results/
+//	ronsim -sweep -tablerefresh 0,1m -replicas 4 -out results/
 //
 // Sweeps are distributable and resumable. -cells restricts a run to a
 // shard of the grid (names, globs, indices, or index ranges); because
@@ -45,6 +49,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/experiment"
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/costmodel"
@@ -64,21 +69,22 @@ func main() {
 		all     = flag.Bool("all", false, "run all three datasets plus the Figure 6 model")
 		traceTo = flag.String("trace", "", "write §4.1 probe trace records to this file (sweep mode: directory of per-cell traces); analyze with ronreport")
 
-		sweep      = flag.Bool("sweep", false, "run a multi-campaign sweep over a worker pool and merge replicas")
-		replicas   = flag.Int("replicas", 1, "sweep: seed-varied replicates per grid point")
-		parallel   = flag.Int("parallel", 0, "sweep: max concurrent cells (0 = GOMAXPROCS)")
-		hysteresis = flag.String("hysteresis", "0", "sweep: comma-separated hysteresis margins for the grid")
-		lossScale  = flag.String("lossscale", "1", "sweep: comma-separated profile LossScale overrides for the grid")
-		edgeShare  = flag.String("edgeshare", "1", "sweep: comma-separated profile EdgeShare overrides for the grid")
-		probeInt   = flag.String("probeinterval", "0", "sweep: comma-separated routing-probe intervals (Go durations; 0 = dataset default)")
-		lossWin    = flag.String("losswindow", "0", "sweep: comma-separated selection-window sizes in probes (0 = default)")
-		cells      = flag.String("cells", "", "sweep: run only this shard of the grid (comma-separated cell/group names, globs, indices, or index ranges)")
-		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProf    = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
-		resume     = flag.Bool("resume", false, "sweep: reuse completed cell snapshots found under -out, running only the missing cells")
-		extend     = flag.Bool("extend", false, "sweep: like -resume for a grown grid — reuse every already-computed cell, run only the new ones")
-		mergeOnly  = flag.Bool("merge-only", false, "sweep: skip running; rebuild merged/ under -out from completed cell snapshots and report missing grid points")
+		sweep     = flag.Bool("sweep", false, "run a multi-campaign sweep over a worker pool and merge replicas")
+		replicas  = flag.Int("replicas", 1, "sweep: seed-varied replicates per grid point")
+		parallel  = flag.Int("parallel", 0, "sweep: max concurrent cells (0 = GOMAXPROCS)")
+		lossScale = flag.String("lossscale", "1", "sweep: comma-separated profile LossScale overrides for the grid")
+		edgeShare = flag.String("edgeshare", "1", "sweep: comma-separated profile EdgeShare overrides for the grid")
+		cells     = flag.String("cells", "", "sweep: run only this shard of the grid (comma-separated cell/group names, globs, indices, or index ranges)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		resume    = flag.Bool("resume", false, "sweep: reuse completed cell snapshots found under -out, running only the missing cells")
+		extend    = flag.Bool("extend", false, "sweep: like -resume for a grown grid — reuse every already-computed cell, run only the new ones")
+		mergeOnly = flag.Bool("merge-only", false, "sweep: skip running; rebuild merged/ under -out from completed cell snapshots and report missing grid points")
 	)
+	// Every registered axis (standard and custom alike) derives its
+	// value-list flag from the registry; the profile axis is driven by
+	// the -lossscale/-edgeshare pair above instead.
+	collectAxisFlags := experiment.RegisterAxisFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Profiling hooks so perf work on the campaign engine starts from a
@@ -119,21 +125,23 @@ func main() {
 			}
 			datasets = []core.Dataset{d}
 		}
+		axisOpts, err := collectAxisFlags()
+		if err != nil {
+			fatal(err)
+		}
 		if err := runSweep(sweepFlags{
-			datasets:      datasets,
-			days:          *days,
-			seed:          *seed,
-			replicas:      *replicas,
-			parallel:      *parallel,
-			hysteresis:    *hysteresis,
-			lossScale:     *lossScale,
-			edgeShare:     *edgeShare,
-			probeInterval: *probeInt,
-			lossWindow:    *lossWin,
-			cells:         *cells,
-			resume:        *resume || *extend,
-			outDir:        *outDir,
-			traceDir:      *traceTo,
+			datasets:  datasets,
+			days:      *days,
+			seed:      *seed,
+			replicas:  *replicas,
+			parallel:  *parallel,
+			lossScale: *lossScale,
+			edgeShare: *edgeShare,
+			axisOpts:  axisOpts,
+			cells:     *cells,
+			resume:    *resume || *extend,
+			outDir:    *outDir,
+			traceDir:  *traceTo,
 		}); err != nil {
 			fatal(err)
 		}
@@ -161,96 +169,19 @@ func main() {
 	}
 }
 
-// parseFloatList parses a comma-separated list of floats ("1,4,8").
-func parseFloatList(flagName, s string) ([]float64, error) {
-	var out []float64
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		v, err := strconv.ParseFloat(part, 64)
-		if err != nil {
-			return nil, fmt.Errorf("-%s: bad value %q: %w", flagName, part, err)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("-%s: empty list", flagName)
-	}
-	return out, nil
-}
-
-// parseDurationList parses a comma-separated list of Go durations
-// ("0,30s,2m"). Zero entries are allowed (they select the default);
-// negative ones are not.
-func parseDurationList(flagName, s string) ([]time.Duration, error) {
-	var out []time.Duration
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		// Bare "0" is a valid "use the default" entry even though
-		// time.ParseDuration wants a unit.
-		if part == "0" {
-			out = append(out, 0)
-			continue
-		}
-		v, err := time.ParseDuration(part)
-		if err != nil {
-			return nil, fmt.Errorf("-%s: bad duration %q: %w", flagName, part, err)
-		}
-		if v < 0 {
-			return nil, fmt.Errorf("-%s: duration %v must be >= 0", flagName, v)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("-%s: empty list", flagName)
-	}
-	return out, nil
-}
-
-// parseIntList parses a comma-separated list of non-negative integers
-// ("0,50,200"); zero selects the default.
-func parseIntList(flagName, s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		v, err := strconv.Atoi(part)
-		if err != nil {
-			return nil, fmt.Errorf("-%s: bad value %q: %w", flagName, part, err)
-		}
-		if v < 0 {
-			return nil, fmt.Errorf("-%s: value %d must be >= 0", flagName, v)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("-%s: empty list", flagName)
-	}
-	return out, nil
-}
-
-// parsePositiveFloatList is parseFloatList for knobs the substrate only
-// honors when > 0 (netsim treats non-positive LossScale/EdgeShare as the
-// calibrated default, which would silently turn a sweep axis into a
-// mislabeled baseline).
-func parsePositiveFloatList(flagName, s string) ([]float64, error) {
-	out, err := parseFloatList(flagName, s)
+// parsePositiveFloat parses one profile-override value. The substrate
+// only honors LossScale/EdgeShare when > 0 (netsim treats non-positive
+// values as the calibrated default, which would silently turn a sweep
+// axis into a mislabeled baseline), so non-positive values are errors.
+func parsePositiveFloat(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	for _, v := range out {
-		if v <= 0 {
-			return nil, fmt.Errorf("-%s: value %g must be > 0", flagName, v)
-		}
+	if v <= 0 {
+		return 0, fmt.Errorf("value %g must be > 0", v)
 	}
-	return out, nil
+	return v, nil
 }
 
 // profileVariants crosses LossScale × EdgeShare overrides into named
@@ -277,88 +208,57 @@ func profileVariants(lossScales, edgeShares []float64) []core.ProfileVariant {
 }
 
 type sweepFlags struct {
-	datasets                  []core.Dataset
-	days                      float64
-	seed                      uint64
-	replicas, parallel        int
-	hysteresis                string
-	lossScale, edgeShare      string
-	probeInterval, lossWindow string
-	cells                     string
-	resume                    bool
-	outDir, traceDir          string
+	datasets             []core.Dataset
+	days                 float64
+	seed                 uint64
+	replicas, parallel   int
+	lossScale, edgeShare string
+	// axisOpts carries the registry-derived axis flags (every axis
+	// whose flag departed from its default), already parsed.
+	axisOpts         []experiment.Option
+	cells            string
+	resume           bool
+	outDir, traceDir string
 }
 
-// runSweep expands, runs, and reports a sweep: per-cell progress lines as
-// cells finish, one merged report per complete grid point, and — under
-// -out — per-cell and merged output directories, a checksummed snapshot
-// of every finished cell, and a sweep.json manifest that -merge-only and
-// ronreport -sweep consume. With -cells only the matching shard runs;
-// with -resume/-extend, cells whose snapshot already exists are reused
-// instead of recomputed.
+// runSweep builds an experiment from the flags and runs it: per-cell
+// progress lines as cells finish, one merged report per complete grid
+// point, and — under -out — per-cell and merged output directories, a
+// checksummed snapshot of every finished cell, and a sweep.json
+// manifest that -merge-only and ronreport -sweep consume. With -cells
+// only the matching shard runs; with -resume/-extend, cells whose
+// snapshot already exists are reused instead of recomputed.
 func runSweep(f sweepFlags) error {
-	hyst, err := parseFloatList("hysteresis", f.hysteresis)
+	ls, err := experiment.ParseList("lossscale", f.lossScale, parsePositiveFloat)
 	if err != nil {
 		return err
 	}
-	ls, err := parsePositiveFloatList("lossscale", f.lossScale)
-	if err != nil {
-		return err
-	}
-	es, err := parsePositiveFloatList("edgeshare", f.edgeShare)
-	if err != nil {
-		return err
-	}
-	intervals, err := parseDurationList("probeinterval", f.probeInterval)
-	if err != nil {
-		return err
-	}
-	windows, err := parseIntList("losswindow", f.lossWindow)
+	es, err := experiment.ParseList("edgeshare", f.edgeShare, parsePositiveFloat)
 	if err != nil {
 		return err
 	}
 
-	spec := core.SweepSpec{
-		Datasets:       f.datasets,
-		Days:           f.days,
-		BaseSeed:       f.seed,
-		Replicas:       f.replicas,
-		Profiles:       profileVariants(ls, es),
-		Hysteresis:     hyst,
-		ProbeIntervals: intervals,
-		LossWindows:    windows,
-		Parallel:       f.parallel,
+	opts := []experiment.Option{
+		experiment.Datasets(f.datasets...),
+		experiment.Days(f.days),
+		experiment.Seed(f.seed),
+		experiment.Replicas(f.replicas),
+		experiment.Parallel(f.parallel),
+		experiment.Axes(experiment.ProfileAxis(profileVariants(ls, es)...)),
+		experiment.Warn(func(format string, args ...any) { fmt.Printf(format, args...) }),
 	}
-
-	var filter *core.CellFilter
+	opts = append(opts, f.axisOpts...)
 	if f.cells != "" {
-		filter, err = core.ParseCellFilter(f.cells)
-		if err != nil {
-			return err
-		}
-		spec.Filter = filter.Match
+		opts = append(opts, experiment.Shard(f.cells))
 	}
-
 	if f.resume {
 		if f.outDir == "" {
 			return errors.New("-resume/-extend need -out: snapshots live under the output directory")
 		}
-		spec.Reuse = func(c core.Cell, cfg core.Config) (*core.Result, bool) {
-			snap, err := core.ReadCellSnapshot(core.CellSnapshotPath(f.outDir, c.Name()))
-			if err != nil {
-				if !errors.Is(err, fs.ErrNotExist) {
-					fmt.Printf("cell %s: ignoring unusable snapshot: %v\n", c.Name(), err)
-				}
-				return nil, false
-			}
-			res, err := snap.Restore(cfg)
-			if err != nil {
-				fmt.Printf("cell %s: snapshot is from a different grid (%v); recomputing\n",
-					c.Name(), err)
-				return nil, false
-			}
-			return res, true
-		}
+		opts = append(opts, experiment.Resume(f.outDir))
+	}
+	if f.outDir != "" {
+		opts = append(opts, experiment.Output(f.outDir))
 	}
 
 	// Per-cell trace writers. The Configure hook (serial, at expansion)
@@ -405,7 +305,7 @@ func runSweep(f sweepFlags) error {
 		}
 		probe.Close()
 		os.Remove(probe.Name())
-		spec.Configure = func(c core.Cell, cfg *core.Config) {
+		opts = append(opts, experiment.Configure(func(c core.Cell, cfg *core.Config) {
 			ct := &cellTrace{path: filepath.Join(f.traceDir, c.Name()+".trc")}
 			traces[c.Index] = ct
 			cfg.TraceSink = func(r trace.Record) {
@@ -424,13 +324,12 @@ func runSweep(f sweepFlags) error {
 				}
 				ct.err = ct.w.Append(r)
 			}
-		}
+		}))
 	}
 
 	var total int
 	done := 0
-	var snapErr error
-	spec.Progress = func(r core.CellResult) {
+	opts = append(opts, experiment.Progress(func(r core.CellResult) {
 		done++
 		status := fmt.Sprintf("wall %5.1fs", r.Wall.Seconds())
 		switch {
@@ -443,51 +342,37 @@ func runSweep(f sweepFlags) error {
 		}
 		fmt.Printf("[%3d/%3d] cell %-36s seed %-20d %s\n",
 			done, total, r.Cell.Name(), r.Cell.Seed, status)
-		// Persist finished cells immediately so a killed sweep keeps
-		// everything it completed; reused cells already have their file.
-		if f.outDir != "" && r.Err == nil && !r.Cached {
-			snap := core.NewCellSnapshot(r.Cell, r.Res)
-			path := core.CellSnapshotPath(f.outDir, r.Cell.Name())
-			if err := snap.WriteFile(path); err != nil && snapErr == nil {
-				snapErr = err
-			}
-		}
-	}
+	}))
 
-	s, err := core.NewSweep(spec)
+	e, err := experiment.New(opts...)
+	if err != nil {
+		return err
+	}
+	gridCells, err := e.Cells()
 	if err != nil {
 		closeTraces()
 		return err
 	}
-	if filter != nil {
-		if err := filter.Validate(s.Cells()); err != nil {
-			closeTraces()
-			return err
-		}
-	}
 	total = 0
-	for _, c := range s.Cells() {
-		if spec.Filter == nil || spec.Filter(c) {
+	for _, c := range gridCells {
+		if e.Match(c) {
 			total++
 		}
 	}
 	shard := ""
-	if filter != nil {
-		shard = fmt.Sprintf(" [shard -cells %s: %d of %d]", filter, total, len(s.Cells()))
+	if f.cells != "" {
+		shard = fmt.Sprintf(" [shard -cells %s: %d of %d]", e.Shard(), total, len(gridCells))
 	}
 	fmt.Printf("=== sweep: %d cells (%.2f virtual days each), base seed %d%s ===\n",
 		total, f.days, f.seed, shard)
 
-	res, err := s.Run()
+	res, err := e.Run()
 	closeErr := closeTraces()
 	if err != nil {
 		return err
 	}
 	if closeErr != nil {
 		return closeErr
-	}
-	if snapErr != nil {
-		return snapErr
 	}
 	fmt.Printf("\nsweep finished in %.1fs on %d workers (%d cells reused)\n\n",
 		res.Wall.Seconds(), res.Parallel, res.Reused)
@@ -554,11 +439,7 @@ func runSweep(f sweepFlags) error {
 	if manifestDir == "" {
 		return nil
 	}
-	var snapPath func(core.Cell) string
-	if f.outDir != "" {
-		snapPath = func(c core.Cell) string { return core.CellSnapshotRelPath(c.Name()) }
-	}
-	m := res.Manifest(func(c core.Cell) string {
+	err = e.WriteManifest(res, manifestDir, func(c core.Cell) string {
 		ct, ok := traces[c.Index]
 		if !ok {
 			return ""
@@ -572,33 +453,8 @@ func runSweep(f sweepFlags) error {
 			}
 		}
 		return manifestTracePath(manifestDir, ct.path)
-	}, snapPath)
-	// A rerun without -trace (e.g. -resume) or without -out knows
-	// nothing about artifacts recorded by the manifest it is about to
-	// replace; carry forward prior paths for the same cell (seed-checked
-	// so a stale manifest from a different grid cannot leak in).
-	if prior, err := core.ReadManifest(manifestDir); err == nil {
-		keep := map[string]core.ManifestCell{}
-		for _, g := range prior.Groups {
-			for _, c := range g.Cells {
-				keep[c.Name] = c
-			}
-		}
-		for gi := range m.Groups {
-			for ci := range m.Groups[gi].Cells {
-				mc := &m.Groups[gi].Cells[ci]
-				if p, ok := keep[mc.Name]; ok && p.Seed == mc.Seed {
-					if mc.Trace == "" {
-						mc.Trace = p.Trace
-					}
-					if mc.Snapshot == "" {
-						mc.Snapshot = p.Snapshot
-					}
-				}
-			}
-		}
-	}
-	if err := m.Write(manifestDir); err != nil {
+	})
+	if err != nil {
 		return err
 	}
 	fmt.Printf("wrote manifest %s\n", filepath.Join(manifestDir, core.ManifestName))
@@ -610,12 +466,14 @@ func runSweep(f sweepFlags) error {
 // from other machines — and reports the grid points still missing
 // cells. Rebuilt tables are byte-identical to a single-machine sweep
 // because the snapshots round-trip aggregator state exactly and
-// replicas merge in the same order.
+// replicas merge in the same order. Custom-axis cells restore through
+// the axis registry, so any axis this binary registers merges like a
+// built-in one.
 func runMergeOnly(dir string) error {
 	if dir == "" {
 		return errors.New("-merge-only needs -out pointing at a sweep output directory")
 	}
-	m, err := core.ReadManifest(dir)
+	m, err := experiment.LoadManifest(dir)
 	if err != nil {
 		return err
 	}

@@ -4,21 +4,20 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
-	"time"
 
+	"repro/experiment"
 	"repro/internal/core"
 )
 
-func TestParseFloatList(t *testing.T) {
-	got, err := parseFloatList("lossscale", "1, 4,8")
+func TestParsePositiveFloat(t *testing.T) {
+	got, err := experiment.ParseList("lossscale", "1, 4,8", parsePositiveFloat)
 	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 8 {
-		t.Errorf("parseFloatList = %v, %v", got, err)
+		t.Errorf("ParseList(parsePositiveFloat) = %v, %v", got, err)
 	}
-	if _, err := parseFloatList("hysteresis", "0.25,bogus"); err == nil {
-		t.Error("parseFloatList accepted a non-number")
-	}
-	if _, err := parseFloatList("edgeshare", " , "); err == nil {
-		t.Error("parseFloatList accepted an empty list")
+	for _, bad := range []string{"0.25,bogus", " , ", "0", "-1"} {
+		if _, err := experiment.ParseList("lossscale", bad, parsePositiveFloat); err == nil {
+			t.Errorf("ParseList(parsePositiveFloat) accepted %q", bad)
+		}
 	}
 }
 
@@ -55,27 +54,25 @@ func TestParseDataset(t *testing.T) {
 	}
 }
 
-func TestParseDurationList(t *testing.T) {
-	got, err := parseDurationList("probeinterval", "0, 30s,2m")
-	if err != nil || len(got) != 3 || got[0] != 0 ||
-		got[1] != 30*time.Second || got[2] != 2*time.Minute {
-		t.Errorf("parseDurationList = %v, %v", got, err)
+// TestTableRefreshAxisFlag: the registry-derived -tablerefresh flag
+// parses through the custom axis's own factory, and a value list equal
+// to the default is omitted (so untouched custom axes never perturb
+// coordinate-derived seeds).
+func TestTableRefreshAxisFlag(t *testing.T) {
+	a, err := experiment.NewAxis("tablerefresh", "0", "1m")
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, bad := range []string{"", "30", "bogus", "-5s"} {
-		if _, err := parseDurationList("probeinterval", bad); err == nil {
-			t.Errorf("parseDurationList accepted %q", bad)
-		}
+	vals := a.Values()
+	if len(vals) != 2 || vals[0] != "0s" || vals[1] != "1m0s" {
+		t.Errorf("tablerefresh values = %v", vals)
 	}
-}
-
-func TestParseIntList(t *testing.T) {
-	got, err := parseIntList("losswindow", "0,50, 200")
-	if err != nil || len(got) != 3 || got[0] != 0 || got[1] != 50 || got[2] != 200 {
-		t.Errorf("parseIntList = %v, %v", got, err)
+	if a.Label(vals[1]) != "-t1m0s" || a.Label(vals[0]) != "" {
+		t.Errorf("tablerefresh labels = %q/%q", a.Label(vals[0]), a.Label(vals[1]))
 	}
-	for _, bad := range []string{"", "1.5", "-1"} {
-		if _, err := parseIntList("losswindow", bad); err == nil {
-			t.Errorf("parseIntList accepted %q", bad)
+	for _, bad := range []string{"-5s", "bogus", "30"} {
+		if _, err := experiment.NewAxis("tablerefresh", bad); err == nil {
+			t.Errorf("tablerefresh accepted %q", bad)
 		}
 	}
 }
@@ -84,17 +81,15 @@ func TestParseIntList(t *testing.T) {
 // dataset, two hysteresis grid points, two replicas each.
 func testSweepFlags(outDir string) sweepFlags {
 	return sweepFlags{
-		datasets:      []core.Dataset{core.RONnarrow},
-		days:          0.01,
-		seed:          5,
-		replicas:      2,
-		parallel:      2,
-		hysteresis:    "0,0.25",
-		lossScale:     "1",
-		edgeShare:     "1",
-		probeInterval: "0",
-		lossWindow:    "0",
-		outDir:        outDir,
+		datasets:  []core.Dataset{core.RONnarrow},
+		days:      0.01,
+		seed:      5,
+		replicas:  2,
+		parallel:  2,
+		lossScale: "1",
+		edgeShare: "1",
+		axisOpts:  []experiment.Option{experiment.AxisValues("hysteresis", "0", "0.25")},
+		outDir:    outDir,
 	}
 }
 
@@ -268,6 +263,59 @@ func TestManifestKeepsPriorArtifactPaths(t *testing.T) {
 	}
 	if after := countTraces(); after != before {
 		t.Errorf("resume without -trace kept %d/%d manifest trace paths", after, before)
+	}
+}
+
+// TestCustomAxisShardMergeMatchesSingleRun drives the tablerefresh
+// axis — defined purely against the public experiment API — through
+// the full distributed workflow: sharded runs, snapshot persistence,
+// manifest v3, and merge-only recombination must be byte-identical to
+// an unsharded run, exactly like the built-in axes.
+func TestCustomAxisShardMergeMatchesSingleRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several sweep campaigns")
+	}
+	withAxis := func(dir string) sweepFlags {
+		f := testSweepFlags(dir)
+		f.axisOpts = []experiment.Option{experiment.AxisValues("tablerefresh", "0", "5s")}
+		return f
+	}
+	single, sharded := t.TempDir(), t.TempDir()
+	if err := runSweep(withAxis(single)); err != nil {
+		t.Fatal(err)
+	}
+	for _, shard := range []string{"*-r00", "*-r01"} {
+		f := withAxis(sharded)
+		f.cells = shard
+		if err := runSweep(f); err != nil {
+			t.Fatalf("shard %s: %v", shard, err)
+		}
+	}
+	if err := runMergeOnly(sharded); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(single, core.MergedDirName, "ronnarrow-t5s")); err != nil {
+		t.Fatalf("custom-axis grid point missing from single run: %v", err)
+	}
+	diffTrees(t, "merged",
+		readTree(t, filepath.Join(single, core.MergedDirName)),
+		readTree(t, filepath.Join(sharded, core.MergedDirName)))
+	diffTrees(t, "cells",
+		readTree(t, filepath.Join(single, core.CellsDirName)),
+		readTree(t, filepath.Join(sharded, core.CellsDirName)))
+	// The manifest serialized the custom axis like any standard one.
+	m, err := experiment.LoadManifest(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range m.Axes {
+		if a.Name == "tablerefresh" && len(a.Values) == 2 && a.Values[1] == "5s" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("manifest axes lack tablerefresh: %+v", m.Axes)
 	}
 }
 

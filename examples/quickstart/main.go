@@ -1,6 +1,14 @@
-// Quickstart: bring up a five-node overlay on an in-process mesh, let it
-// probe and gossip for a moment, then send one message under each routing
-// policy and print the resulting routing table.
+// Quickstart: the experiment builder API in one page. Builds a small
+// sweep grid — two hysteresis settings × a custom axis defined right
+// here × two seed replicas — runs it over all cores, and prints each
+// grid point's merged Table 5.
+//
+// The custom "gapscale" axis is the point of the demo: a new grid
+// dimension is one Axis implementation plus one Register call. The
+// engine names, seeds, shards, snapshots, and serializes its cells
+// exactly like the built-in axes, with no engine changes. (The same
+// pattern at CLI scale: cmd/ronsim/axis_tablerefresh.go, whose
+// -tablerefresh flag is derived from this registry.)
 //
 //	go run ./examples/quickstart
 package main
@@ -8,82 +16,86 @@ package main
 import (
 	"fmt"
 	"os"
-	"sync"
+	"strconv"
 	"time"
 
-	"repro/internal/overlay"
-	"repro/internal/transport"
-	"repro/internal/wire"
+	"repro/experiment"
+	"repro/internal/analysis"
 )
 
+// gapScaleAxis scales the §4.1 measurement-probe pacing: value "2"
+// doubles the random inter-probe gap, halving the sampling rate. It
+// implements experiment.Axis — Name, Values, Apply, Label — and
+// nothing else.
+type gapScaleAxis struct{ vals []experiment.AxisValue }
+
+func (a *gapScaleAxis) Name() string                   { return "gapscale" }
+func (a *gapScaleAxis) Values() []experiment.AxisValue { return a.vals }
+
+func (a *gapScaleAxis) Apply(v experiment.AxisValue, cfg *experiment.Config) error {
+	scale, err := strconv.Atoi(string(v))
+	if err != nil || scale < 1 {
+		return fmt.Errorf("axis gapscale: bad value %q", v)
+	}
+	cfg.MeasureGapMin *= time.Duration(scale)
+	cfg.MeasureGapMax *= time.Duration(scale)
+	return nil
+}
+
+func (a *gapScaleAxis) Label(v experiment.AxisValue) string {
+	if v == "1" {
+		return "" // the default: stays out of cell names and snapshots
+	}
+	return "-g" + string(v)
+}
+
+func init() {
+	// Registering makes the axis reconstructable from manifests and
+	// snapshots (and would derive a -gapscale flag in a CLI).
+	experiment.Register(experiment.AxisDef{
+		Name:    "gapscale",
+		Usage:   "comma-separated measurement-gap scale factors (1 = paper pacing)",
+		Default: "1",
+		New: func(values []experiment.AxisValue) (experiment.Axis, error) {
+			return &gapScaleAxis{vals: values}, nil
+		},
+	})
+}
+
 func main() {
-	const meshSize = 5
-	// A mild random impairment (0.5% loss, 5-15 ms delay) so estimates
-	// have something to measure.
-	mesh := transport.NewMesh(transport.RandomLoss(
-		0.005, 5*time.Millisecond, 10*time.Millisecond, 42))
-	defer mesh.Close()
-
-	var mu sync.Mutex
-	received := 0
-	nodes := make([]*overlay.Node, meshSize)
-	for i := 0; i < meshSize; i++ {
-		id := wire.NodeID(i)
-		n, err := overlay.New(overlay.Config{
-			ID:             id,
-			MeshSize:       meshSize,
-			Transport:      mesh.Endpoint(id),
-			ProbeInterval:  150 * time.Millisecond, // compressed §3.1 probing
-			GossipInterval: 100 * time.Millisecond,
-			Seed:           int64(i),
-			OnReceive: func(r overlay.Receive) {
-				mu.Lock()
-				received++
-				mu.Unlock()
-				dup := ""
-				if r.Duplicate {
-					dup = " [duplicate suppressed]"
-				}
-				fmt.Printf("  node %v got %q from %v (copy %d, forwarded=%v)%s\n",
-					id, r.Payload, r.Origin, r.CopyIndex, r.Forwarded, dup)
-			},
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		nodes[i] = n
-		defer n.Close()
-	}
-	for _, n := range nodes {
-		n.Start()
+	e, err := experiment.New(
+		experiment.Datasets(experiment.RONnarrow),
+		experiment.Days(0.02), // ~29 virtual minutes per cell
+		experiment.Seed(42),
+		experiment.Replicas(2),
+		experiment.AxisValues("hysteresis", "0", "0.25"),
+		experiment.AxisValues("gapscale", "1", "2"),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
-	fmt.Println("probing and gossiping for 2s ...")
-	time.Sleep(2 * time.Second)
-
-	fmt.Println("\nrouting table of node 0:")
-	for _, e := range nodes[0].RoutingTable() {
-		fmt.Printf("  to %v: loss-optimized %-8v  latency-optimized %-8v (%v)\n",
-			e.Dst, e.Loss, e.Latency, e.Latency.Latency.Round(time.Millisecond))
+	cells, err := e.Cells()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("grid: %d cells (replicas merge per grid point), coordinate-derived seeds\n", len(cells))
+	for _, c := range cells {
+		fmt.Printf("  %-28s seed %d\n", c.Name(), c.Seed)
 	}
 
-	fmt.Println("\nsending one packet under each policy from node 0 to node 3:")
-	for _, p := range []overlay.Policy{
-		overlay.PolicyDirect, overlay.PolicyLat, overlay.PolicyLoss,
-		overlay.PolicyMesh, overlay.PolicyLatLoss,
-	} {
-		fmt.Printf("policy %q:\n", p)
-		if err := nodes[0].Send(3, 100, []byte("hello via "+p.String()), p); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-		}
-		time.Sleep(200 * time.Millisecond)
+	res, err := e.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	fmt.Printf("\nran %d cells on %d workers in %.1fs\n", res.Selected, res.Parallel, res.Wall.Seconds())
 
-	s := nodes[0].Stats()
-	fmt.Printf("\nnode 0 stats: %d probes sent, %d replies, %d lost, %d gossips received\n",
-		s.ProbesSent, s.ProbeReplies, s.ProbesLost, s.GossipsReceived)
-	mu.Lock()
-	fmt.Printf("total data packets delivered across the mesh: %d\n", received)
-	mu.Unlock()
+	for gi := range res.Groups {
+		g := &res.Groups[gi]
+		fmt.Printf("\n=== %s: %d replicas merged ===\n%s", g.Name(), len(g.Cells),
+			analysis.RenderTable5(g.Merged.Table5Rows(), g.Merged.LatencyLabel()))
+	}
 }

@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The engine's grid types, re-exported so custom axes and experiment
+// consumers depend only on this package.
+type (
+	// Axis is one dimension of a sweep grid: a named, ordered value
+	// set that knows how to configure a campaign for each value and
+	// how each value labels a cell. Implement it (and Register the
+	// implementation) to add a grid dimension without touching the
+	// engine. See core.Axis for the full method contract.
+	Axis = core.Axis
+	// AxisValue is an axis value's canonical string encoding — what
+	// appears in CLI lists, cell snapshots, and manifests.
+	AxisValue = core.AxisValue
+	// AxisDef is an axis registry entry: constructor plus CLI flag
+	// metadata.
+	AxisDef = core.AxisDef
+	// Config parameterizes one campaign; Axis.Apply mutates it.
+	Config = core.Config
+	// Dataset selects one of the paper's measurement campaigns.
+	Dataset = core.Dataset
+	// Cell is one point of an expanded grid: dataset, one value per
+	// axis, replica, and the coordinate-derived seed.
+	Cell = core.Cell
+	// CellResult is the outcome of one cell campaign.
+	CellResult = core.CellResult
+	// SweepResult is the outcome of a whole run.
+	SweepResult = core.SweepResult
+	// SweepManifest is the on-disk record of a grid (version 3
+	// serializes the full axis set; versions 1–2 still load).
+	SweepManifest = core.SweepManifest
+	// ProfileVariant names a substrate-profile override.
+	ProfileVariant = core.ProfileVariant
+	// Result is one campaign's outcome (tables, figures, counters).
+	Result = core.Result
+)
+
+// The datasets, re-exported.
+const (
+	RON2003   = core.RON2003
+	RONwide   = core.RONwide
+	RONnarrow = core.RONnarrow
+)
+
+// Register adds an axis kind to the global registry. Registered axes
+// reconstruct from manifests and snapshots, and RegisterAxisFlags
+// derives a CLI flag for them. Call it from an init function; it
+// panics on duplicate names.
+func Register(def AxisDef) { core.RegisterAxis(def) }
+
+// RegisteredAxes lists every registered axis definition in
+// registration order (the standard axes first).
+func RegisteredAxes() []AxisDef { return core.RegisteredAxes() }
+
+// NewAxis constructs a registered axis over the given values.
+func NewAxis(name string, values ...string) (Axis, error) {
+	vals := make([]core.AxisValue, len(values))
+	for i, v := range values {
+		vals[i] = core.AxisValue(v)
+	}
+	return core.NewAxis(name, vals)
+}
+
+// ParseDataset maps a CLI-form dataset name to its Dataset.
+func ParseDataset(s string) (Dataset, error) { return core.ParseDataset(s) }
+
+// The standard axis constructors, re-exported for typed use.
+var (
+	HysteresisAxis    = core.HysteresisAxis
+	ProbeIntervalAxis = core.ProbeIntervalAxis
+	LossWindowAxis    = core.LossWindowAxis
+	ProfileAxis       = core.ProfileAxis
+)
+
+// RegisterAxisFlags derives one CLI flag per registered axis (those
+// with Usage set) on fs — flag name, default, and help text all come
+// from the registry, so a newly registered axis surfaces on the CLI
+// with no per-flag code. The returned function, called after fs is
+// parsed, yields the Options for every axis whose flag departed from
+// its default value list. Flags left at the default are omitted on
+// purpose: an unmentioned axis and an axis pinned to its default are
+// the same grid, and omitting untouched custom axes keeps
+// coordinate-derived seeds stable.
+func RegisterAxisFlags(fs *flag.FlagSet) func() ([]Option, error) {
+	type reg struct {
+		def AxisDef
+		val *string
+	}
+	var regs []reg
+	for _, def := range core.RegisteredAxes() {
+		if def.Usage == "" {
+			continue
+		}
+		regs = append(regs, reg{def, fs.String(def.Name, def.Default, def.Usage)})
+	}
+	return func() ([]Option, error) {
+		var opts []Option
+		for _, r := range regs {
+			axis, err := axisFromFlag(r.def, *r.val)
+			if err != nil {
+				return nil, err
+			}
+			if axis != nil {
+				opts = append(opts, Axes(axis))
+			}
+		}
+		return opts, nil
+	}
+}
+
+// axisFromFlag parses one axis flag value, returning nil when the
+// canonical values equal the flag default's.
+func axisFromFlag(def AxisDef, value string) (Axis, error) {
+	axis, err := NewAxis(def.Name, SplitList(value)...)
+	if err != nil {
+		return nil, fmt.Errorf("-%s: %w", def.Name, err)
+	}
+	defAxis, err := NewAxis(def.Name, SplitList(def.Default)...)
+	if err != nil {
+		return nil, fmt.Errorf("axis %s: bad registered default %q: %w", def.Name, def.Default, err)
+	}
+	if sameValues(axis.Values(), defAxis.Values()) {
+		return nil, nil
+	}
+	return axis, nil
+}
+
+func sameValues(a, b []AxisValue) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,373 @@
+// Package experiment is the public, composable face of the sweep
+// engine: it builds multi-axis measurement-campaign grids with
+// functional options, runs them with sharding, resumption, and
+// per-cell snapshot persistence, and round-trips their full shape
+// (datasets × axes × replicas) through version 3 sweep manifests.
+//
+// A minimal experiment:
+//
+//	e, err := experiment.New(
+//		experiment.Datasets(experiment.RONnarrow),
+//		experiment.Days(0.5),
+//		experiment.Seed(42),
+//		experiment.Replicas(8),
+//		experiment.AxisValues("hysteresis", "0", "0.25"),
+//	)
+//	res, err := e.Run()
+//
+// Grid dimensions are Axis values, not struct fields: any package can
+// define a new axis (a named value set that knows how to configure a
+// campaign and label a cell) and register it with Register, after
+// which it sweeps, shards, resumes, snapshots, and serializes exactly
+// like the built-in ones — no engine changes. See the Axis type and
+// the axis registry in this package.
+//
+// Compatibility contract: grids over the standard axes produce cell
+// names, derived seeds, and rendered outputs byte-identical to the
+// pre-axis engine (the repo's golden digests enforce this), and
+// version 1/2 manifests still load with their fixed axes reconstructed.
+package experiment
+
+import (
+	"errors"
+	"io/fs"
+
+	"repro/internal/core"
+)
+
+// Option configures an Experiment under construction.
+type Option func(*Experiment) error
+
+// Experiment is a configured sweep: a grid specification plus the
+// run-time policies (sharding, resumption, output persistence) that
+// surround it. Build with New; zero values are not useful.
+type Experiment struct {
+	spec      core.SweepSpec
+	axes      []core.Axis
+	shard     string
+	filter    *core.CellFilter
+	resumeDir string
+	outDir    string
+	warnf     func(format string, args ...any)
+	progress  func(core.CellResult)
+
+	sweep   *core.Sweep // memoized expansion
+	snapErr error
+}
+
+// New builds an experiment from options. The grid is not expanded yet;
+// Cells or Run do that.
+func New(opts ...Option) (*Experiment, error) {
+	e := &Experiment{warnf: func(string, ...any) {}}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	e.spec.Axes = e.axes
+	if e.shard != "" {
+		f, err := core.ParseCellFilter(e.shard)
+		if err != nil {
+			return nil, err
+		}
+		e.filter = f
+		e.spec.Filter = f.Match
+	}
+	if e.resumeDir != "" {
+		e.spec.Reuse = e.reuseFromSnapshots
+	}
+	userProgress := e.progress
+	e.spec.Progress = func(r core.CellResult) {
+		if userProgress != nil {
+			userProgress(r)
+		}
+		// Persist finished cells immediately so a killed run keeps
+		// everything it completed; reused cells already have their file.
+		if e.outDir != "" && r.Err == nil && !r.Cached && r.Res != nil {
+			snap := core.NewCellSnapshot(r.Cell, r.Res)
+			path := core.CellSnapshotPath(e.outDir, r.Cell.Name())
+			if err := snap.WriteFile(path); err != nil && e.snapErr == nil {
+				e.snapErr = err
+			}
+		}
+	}
+	return e, nil
+}
+
+// reuseFromSnapshots satisfies cells from persisted snapshots under the
+// resume directory, recomputing (never failing) on unusable or
+// foreign-grid snapshots.
+func (e *Experiment) reuseFromSnapshots(c core.Cell, cfg core.Config) (*core.Result, bool) {
+	snap, err := core.ReadCellSnapshot(core.CellSnapshotPath(e.resumeDir, c.Name()))
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			e.warnf("cell %s: ignoring unusable snapshot: %v\n", c.Name(), err)
+		}
+		return nil, false
+	}
+	res, err := snap.Restore(cfg)
+	if err != nil {
+		e.warnf("cell %s: snapshot is from a different grid (%v); recomputing\n",
+			c.Name(), err)
+		return nil, false
+	}
+	return res, true
+}
+
+// Sweep expands the grid (once; the expansion is memoized) and
+// validates the shard filter against it.
+func (e *Experiment) Sweep() (*core.Sweep, error) {
+	if e.sweep != nil {
+		return e.sweep, nil
+	}
+	s, err := core.NewSweep(e.spec)
+	if err != nil {
+		return nil, err
+	}
+	if e.filter != nil {
+		if err := e.filter.Validate(s.Cells()); err != nil {
+			return nil, err
+		}
+	}
+	e.sweep = s
+	return s, nil
+}
+
+// Cells returns the expanded grid in expansion order.
+func (e *Experiment) Cells() ([]core.Cell, error) {
+	s, err := e.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	return s.Cells(), nil
+}
+
+// Match reports whether the experiment's shard selects the cell (true
+// for every cell when unsharded).
+func (e *Experiment) Match(c core.Cell) bool {
+	return e.filter == nil || e.filter.Match(c)
+}
+
+// Shard returns the shard filter specification ("" when unsharded).
+func (e *Experiment) Shard() string { return e.shard }
+
+// Run expands (if needed) and executes the experiment: selected cells
+// run over the worker pool, resumable cells restore from snapshots,
+// and — when an output directory is configured — every finished cell
+// persists a checksummed snapshot the moment it completes.
+func (e *Experiment) Run() (*core.SweepResult, error) {
+	s, err := e.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	if e.snapErr != nil {
+		return nil, e.snapErr
+	}
+	return res, nil
+}
+
+// WriteManifest records the full grid — every axis with its values,
+// per-cell seeds, and artifact paths — as a version 3 sweep.json in
+// dir. tracePath, when non-nil, maps a cell to its trace file path
+// relative to dir ("" for cells without one); snapshot paths are
+// recorded canonically whenever the experiment persists snapshots.
+// Artifact paths recorded by a prior manifest for the same cells
+// (matched by name and seed) are carried forward rather than blanked,
+// so a rerun that records fewer artifacts — a resume without tracing,
+// a merge pass — never orphans intact files.
+func (e *Experiment) WriteManifest(res *core.SweepResult, dir string, tracePath func(core.Cell) string) error {
+	var snapPath func(core.Cell) string
+	if e.outDir != "" {
+		snapPath = func(c core.Cell) string { return core.CellSnapshotRelPath(c.Name()) }
+	}
+	m := res.Manifest(tracePath, snapPath)
+	if prior, err := core.ReadManifest(dir); err == nil {
+		keep := map[string]core.ManifestCell{}
+		for _, g := range prior.Groups {
+			for _, c := range g.Cells {
+				keep[c.Name] = c
+			}
+		}
+		for gi := range m.Groups {
+			for ci := range m.Groups[gi].Cells {
+				mc := &m.Groups[gi].Cells[ci]
+				if p, ok := keep[mc.Name]; ok && p.Seed == mc.Seed {
+					if mc.Trace == "" {
+						mc.Trace = p.Trace
+					}
+					if mc.Snapshot == "" {
+						mc.Snapshot = p.Snapshot
+					}
+				}
+			}
+		}
+	}
+	return m.Write(dir)
+}
+
+// LoadManifest reads a sweep manifest (any supported version; legacy
+// fixed axes come back reconstructed as generic axes) from dir.
+func LoadManifest(dir string) (*core.SweepManifest, error) {
+	return core.ReadManifest(dir)
+}
+
+// --- options ---
+
+// Datasets selects the datasets to sweep (default: RON2003 only).
+func Datasets(ds ...Dataset) Option {
+	return func(e *Experiment) error {
+		e.spec.Datasets = append(e.spec.Datasets, ds...)
+		return nil
+	}
+}
+
+// DatasetNames is Datasets for CLI-form names ("ron2003", ...).
+func DatasetNames(names ...string) Option {
+	return func(e *Experiment) error {
+		for _, n := range names {
+			d, err := core.ParseDataset(n)
+			if err != nil {
+				return err
+			}
+			e.spec.Datasets = append(e.spec.Datasets, d)
+		}
+		return nil
+	}
+}
+
+// Days sets the virtual campaign length per cell (<=0: the engine
+// default).
+func Days(days float64) Option {
+	return func(e *Experiment) error {
+		e.spec.Days = days
+		return nil
+	}
+}
+
+// Seed sets the sweep's base seed; per-cell seeds derive from it and
+// the cell coordinates.
+func Seed(seed uint64) Option {
+	return func(e *Experiment) error {
+		e.spec.BaseSeed = seed
+		return nil
+	}
+}
+
+// Replicas sets the number of seed-varied replicates per grid point.
+func Replicas(n int) Option {
+	return func(e *Experiment) error {
+		e.spec.Replicas = n
+		return nil
+	}
+}
+
+// Parallel caps concurrently running cells (<=0: GOMAXPROCS).
+func Parallel(n int) Option {
+	return func(e *Experiment) error {
+		e.spec.Parallel = n
+		return nil
+	}
+}
+
+// Axes adds grid axes. Standard axes replace their default value
+// lists; any other registered or hand-built axis appends a new grid
+// dimension after them. An axis pinned to a single default (unlabeled)
+// value is equivalent to not mentioning it at all — same cell names,
+// same coordinate-derived seeds — so resuming or merging an existing
+// sweep never requires reciting its axis list exactly.
+func Axes(axes ...core.Axis) Option {
+	return func(e *Experiment) error {
+		e.axes = append(e.axes, axes...)
+		return nil
+	}
+}
+
+// AxisValues adds a grid axis by registry name over the given values
+// (canonical or CLI form) — the data-driven form of Axes.
+func AxisValues(name string, values ...string) Option {
+	return func(e *Experiment) error {
+		vals := make([]core.AxisValue, len(values))
+		for i, v := range values {
+			vals[i] = core.AxisValue(v)
+		}
+		a, err := core.NewAxis(name, vals)
+		if err != nil {
+			return err
+		}
+		e.axes = append(e.axes, a)
+		return nil
+	}
+}
+
+// Shard restricts the run to the cells matching a -cells style filter
+// (names, globs, indices, index ranges). Expansion is unaffected:
+// every cell keeps its coordinates and seed, so disjoint shards on
+// different machines combine byte-identically.
+func Shard(filter string) Option {
+	return func(e *Experiment) error {
+		e.shard = filter
+		return nil
+	}
+}
+
+// Resume reuses completed cell snapshots found under dir, running only
+// the missing cells — resumption after a kill, or grid extension when
+// axes grew.
+func Resume(dir string) Option {
+	return func(e *Experiment) error {
+		if dir == "" {
+			return errors.New("experiment: Resume needs a snapshot directory")
+		}
+		e.resumeDir = dir
+		return nil
+	}
+}
+
+// Output persists a checksummed snapshot of every finished cell under
+// dir (cells/<cell>/cell.snap) as cells complete, and records snapshot
+// paths in manifests written by WriteManifest.
+func Output(dir string) Option {
+	return func(e *Experiment) error {
+		if dir == "" {
+			return errors.New("experiment: Output needs a directory")
+		}
+		e.outDir = dir
+		return nil
+	}
+}
+
+// Configure installs a per-cell configuration hook, applied serially
+// at expansion after the dataset defaults, axis values, and seed.
+func Configure(fn func(core.Cell, *core.Config)) Option {
+	return func(e *Experiment) error {
+		e.spec.Configure = fn
+		return nil
+	}
+}
+
+// Progress installs a completion callback; calls are serialized but
+// arrive in completion order.
+func Progress(fn func(core.CellResult)) Option {
+	return func(e *Experiment) error {
+		e.progress = fn
+		return nil
+	}
+}
+
+// Warn routes non-fatal run-time notices (an unusable snapshot that
+// forces a recompute, for example) to fn; the default discards them.
+func Warn(fn func(format string, args ...any)) Option {
+	return func(e *Experiment) error {
+		if fn != nil {
+			e.warnf = fn
+		}
+		return nil
+	}
+}

@@ -1,0 +1,214 @@
+package experiment
+
+import (
+	"flag"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// expDays keeps test campaigns at ~15 virtual minutes.
+const expDays = 0.01
+
+func TestSplitList(t *testing.T) {
+	got := SplitList(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("SplitList = %v", got)
+	}
+	if got := SplitList(" , "); got != nil {
+		t.Errorf("SplitList of blanks = %v, want nil", got)
+	}
+}
+
+func TestParseList(t *testing.T) {
+	got, err := ParseList("losswindow", "0,50, 200", strconv.Atoi)
+	if err != nil || len(got) != 3 || got[0] != 0 || got[1] != 50 || got[2] != 200 {
+		t.Errorf("ParseList = %v, %v", got, err)
+	}
+	if _, err := ParseList("losswindow", "1,bogus", strconv.Atoi); err == nil ||
+		!strings.Contains(err.Error(), "-losswindow") {
+		t.Errorf("ParseList error = %v, want flag-labeled parse failure", err)
+	}
+	if _, err := ParseList("losswindow", " , ", strconv.Atoi); err == nil {
+		t.Error("ParseList accepted an empty list")
+	}
+}
+
+func TestNewRejectsBadOptions(t *testing.T) {
+	cases := map[string]Option{
+		"bad dataset":    DatasetNames("atlantis"),
+		"bad axis value": AxisValues("hysteresis", "-1"),
+		"unknown axis":   AxisValues("warpfactor", "9"),
+		"empty resume":   Resume(""),
+		"empty output":   Output(""),
+		"bad shard":      Shard("["),
+	}
+	for name, opt := range cases {
+		if _, err := New(opt); err == nil {
+			t.Errorf("New accepted %s", name)
+		}
+	}
+	// Shard syntax errors surface at New; dead shard terms at expansion.
+	e, err := New(
+		Datasets(RONnarrow), Days(expDays), Shard("no-such-cell-*"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Cells(); err == nil {
+		t.Error("expansion accepted a shard filter matching no cell")
+	}
+}
+
+func TestExperimentRunAndResume(t *testing.T) {
+	dir := t.TempDir()
+	build := func(extra ...Option) *Experiment {
+		opts := append([]Option{
+			Datasets(RONnarrow),
+			Days(expDays),
+			Seed(17),
+			Replicas(2),
+			AxisValues("losswindow", "0", "25"),
+			Output(dir),
+		}, extra...)
+		e, err := New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	var finished []string
+	e := build(Progress(func(r CellResult) { finished = append(finished, r.Cell.Name()) }))
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 || len(res.Groups) != 2 {
+		t.Fatalf("run produced %d cells / %d groups, want 4/2", len(res.Cells), len(res.Groups))
+	}
+	if len(finished) != 4 {
+		t.Errorf("progress saw %d cells, want 4", len(finished))
+	}
+	for _, c := range res.Cells {
+		if _, err := core.ReadCellSnapshot(core.CellSnapshotPath(dir, c.Cell.Name())); err != nil {
+			t.Errorf("cell %s: no persisted snapshot: %v", c.Cell.Name(), err)
+		}
+	}
+
+	// A second run resuming from the same directory recomputes nothing.
+	var warns int
+	re := build(Resume(dir), Warn(func(string, ...any) { warns++ }))
+	rres, err := re.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Reused != 4 {
+		t.Errorf("resume reused %d cells, want 4 (warned %d times)", rres.Reused, warns)
+	}
+
+	// Manifest round trip: version 3, all five axes, reconstructable.
+	if err := e.WriteManifest(res, dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != core.ManifestVersion || len(m.Groups) != 2 {
+		t.Fatalf("manifest version/groups = %d/%d", m.Version, len(m.Groups))
+	}
+	spec, err := m.SweepSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range s.Cells() {
+		if c.Name() != res.Cells[i].Cell.Name() || c.Seed != res.Cells[i].Cell.Seed {
+			t.Errorf("manifest round trip: cell %d = %s/%d, want %s/%d",
+				i, c.Name(), c.Seed, res.Cells[i].Cell.Name(), res.Cells[i].Cell.Seed)
+		}
+	}
+}
+
+func TestExperimentShardMatch(t *testing.T) {
+	e, err := New(
+		Datasets(RONnarrow), Days(expDays), Replicas(2), Shard("*-r00"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := e.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := 0
+	for _, c := range cells {
+		if e.Match(c) {
+			matched++
+		}
+	}
+	if matched != 1 || e.Shard() != "*-r00" {
+		t.Errorf("shard matched %d cells (%q), want 1", matched, e.Shard())
+	}
+}
+
+func TestRegisterAxisFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	collect := RegisterAxisFlags(fs)
+	for _, name := range []string{"hysteresis", "probeinterval", "losswindow"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("no derived flag -%s", name)
+		}
+	}
+	if fs.Lookup("profile") != nil {
+		t.Error("the profile axis (no Usage) must not derive a flag")
+	}
+	if err := fs.Parse([]string{"-hysteresis", "0,0.25", "-losswindow", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only hysteresis departed from its default; untouched and
+	// default-valued flags must not materialize axes (which would
+	// perturb custom-axis seeds).
+	e, err := New(append([]Option{Datasets(RONnarrow), Days(expDays)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := e.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("derived-flag grid has %d cells, want 2 (hysteresis only)", len(cells))
+	}
+	plain, err := New(Datasets(RONnarrow), Days(expDays))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcells, err := plain.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Seed != pcells[0].Seed {
+		t.Errorf("default-valued derived flags changed the base cell's seed")
+	}
+
+	// A bad flag value errors with the flag name.
+	fs2 := flag.NewFlagSet("test2", flag.ContinueOnError)
+	collect2 := RegisterAxisFlags(fs2)
+	if err := fs2.Parse([]string{"-losswindow", "-5"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := collect2(); err == nil || !strings.Contains(err.Error(), "-losswindow") {
+		t.Errorf("bad axis flag error = %v", err)
+	}
+}

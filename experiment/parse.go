@@ -1,0 +1,41 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SplitList splits a comma-separated CLI value list, trimming
+// whitespace and dropping empty items — the one list syntax every
+// axis flag and method list shares.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// ParseList parses a comma-separated CLI list with a per-item parser,
+// labeling errors with the flag name. An empty list is an error: a
+// flag explicitly set to nothing is a mistake, not a request for the
+// default. It is the single generic replacement for the per-type
+// parseFloatList/parseDurationList/parseIntList helpers the CLIs used
+// to hand-roll.
+func ParseList[T any](flagName, s string, parse func(string) (T, error)) ([]T, error) {
+	parts := SplitList(s)
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("-%s: empty list", flagName)
+	}
+	out := make([]T, 0, len(parts))
+	for _, part := range parts {
+		v, err := parse(part)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: bad value %q: %w", flagName, part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

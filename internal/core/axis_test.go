@@ -1,0 +1,265 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAxisCanonicalValues(t *testing.T) {
+	cases := []struct {
+		axis Axis
+		want []AxisValue
+	}{
+		{HysteresisAxis(0, 0.25), []AxisValue{"0", "0.25"}},
+		{ProbeIntervalAxis(0, 30*time.Second, 2*time.Minute), []AxisValue{"0s", "30s", "2m0s"}},
+		{LossWindowAxis(0, 50), []AxisValue{"0", "50"}},
+		{ProfileAxis(ProfileVariant{}, ProfileVariant{Name: "ls4-es1"}), []AxisValue{"", "ls4-es1"}},
+	}
+	for _, c := range cases {
+		got := c.axis.Values()
+		if len(got) != len(c.want) {
+			t.Errorf("%s: values %v, want %v", c.axis.Name(), got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: value %d = %q, want %q", c.axis.Name(), i, got[i], c.want[i])
+			}
+		}
+		// Round trip: the registry factory accepts the canonical values
+		// and reproduces them.
+		re, err := NewAxis(c.axis.Name(), got)
+		if err != nil {
+			t.Errorf("%s: registry round trip: %v", c.axis.Name(), err)
+			continue
+		}
+		for i, v := range re.Values() {
+			if v != got[i] {
+				t.Errorf("%s: registry value %d = %q, want %q", c.axis.Name(), i, v, got[i])
+			}
+		}
+	}
+}
+
+func TestAxisLabels(t *testing.T) {
+	cases := []struct {
+		axis Axis
+		v    AxisValue
+		want string
+	}{
+		{HysteresisAxis(0), "0", ""},
+		{HysteresisAxis(0.25), "0.25", "-h0.25"},
+		{ProbeIntervalAxis(0), "0s", ""},
+		{ProbeIntervalAxis(30 * time.Second), "30s", "-p30s"},
+		{LossWindowAxis(0), "0", ""},
+		{LossWindowAxis(50), "50", "-w50"},
+		{ProfileAxis(ProfileVariant{}), "", ""},
+		{ProfileAxis(ProfileVariant{Name: "ls4-es2"}), "ls4-es2", "-ls4-es2"},
+	}
+	for _, c := range cases {
+		if got := c.axis.Label(c.v); got != c.want {
+			t.Errorf("%s.Label(%q) = %q, want %q", c.axis.Name(), c.v, got, c.want)
+		}
+	}
+}
+
+func TestNewAxisErrors(t *testing.T) {
+	if _, err := NewAxis("no-such-axis", []AxisValue{"1"}); err == nil {
+		t.Error("NewAxis accepted an unregistered axis name")
+	}
+	bad := map[string][]AxisValue{
+		"hysteresis":    {"-1"},
+		"probeinterval": {"-5s"},
+		"losswindow":    {"1.5"},
+		"profile":       {"lossy"},
+	}
+	for name, values := range bad {
+		if _, err := NewAxis(name, values); err == nil {
+			t.Errorf("NewAxis(%s, %v) accepted invalid values", name, values)
+		}
+	}
+	for name := range bad {
+		if _, err := NewAxis(name, nil); err == nil {
+			t.Errorf("NewAxis(%s) accepted an empty value list", name)
+		}
+		if _, err := NewAxis(name, []AxisValue{"0", "0"}); name != "profile" && err == nil {
+			t.Errorf("NewAxis(%s) accepted duplicate values", name)
+		}
+	}
+}
+
+func TestProfileNameReconstruction(t *testing.T) {
+	pv, err := parseProfileName("ls4-es0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Profile == nil || pv.Profile.LossScale != 4 || pv.Profile.EdgeShare != 0.5 {
+		t.Errorf("reconstructed profile = %+v", pv.Profile)
+	}
+	for _, bad := range []string{"lossy", "ls4", "ls04-es1", "ls0-es1", "ls4-es-2"} {
+		if _, err := parseProfileName(bad); err == nil {
+			t.Errorf("parseProfileName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestApplyAxisValue(t *testing.T) {
+	cfg := DefaultConfig(RONnarrow, sweepDays)
+	if err := applyAxisValue("losswindow", "25", &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.LossWindow != 25 {
+		t.Errorf("losswindow apply left window %d", cfg.LossWindow)
+	}
+	if err := applyAxisValue("warpfactor", "9", &cfg); err == nil {
+		t.Error("applyAxisValue accepted an unregistered axis")
+	}
+}
+
+// gapScaleAxis is a custom test axis defined outside the standard set:
+// it scales the §4.1 measurement-probe gap. It exists to prove the
+// engine treats registered custom axes exactly like built-in ones.
+type gapScaleAxis struct{ vals []AxisValue }
+
+func (a *gapScaleAxis) Name() string        { return "gapscale" }
+func (a *gapScaleAxis) Values() []AxisValue { return a.vals }
+func (a *gapScaleAxis) Apply(v AxisValue, cfg *Config) error {
+	if v == "1" {
+		return nil
+	}
+	switch v {
+	case "2":
+		cfg.MeasureGapMin *= 2
+		cfg.MeasureGapMax *= 2
+	default:
+		return nil
+	}
+	return nil
+}
+func (a *gapScaleAxis) Label(v AxisValue) string {
+	if v == "1" {
+		return ""
+	}
+	return "-g" + string(v)
+}
+
+func init() {
+	RegisterAxis(AxisDef{
+		Name:    "gapscale",
+		Usage:   "test: measurement-gap scale factors",
+		Default: "1",
+		New: func(values []AxisValue) (Axis, error) {
+			return &gapScaleAxis{vals: append([]AxisValue(nil), values...)}, nil
+		},
+	})
+}
+
+// TestCustomAxisPinnedToDefaultIsDropped: a custom axis whose value
+// list is its single default must expand to the identical grid — names
+// AND seeds — as a spec that never mentions it, so "pinned to default"
+// and "unmentioned" are interchangeable when resuming or merging.
+func TestCustomAxisPinnedToDefaultIsDropped(t *testing.T) {
+	plain, err := NewSweep(SweepSpec{Datasets: []Dataset{RONnarrow}, Days: sweepDays, BaseSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := NewSweep(SweepSpec{Datasets: []Dataset{RONnarrow}, Days: sweepDays, BaseSeed: 5,
+		Axes: []Axis{&gapScaleAxis{vals: []AxisValue{"1"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pinned.Axes()) != len(plain.Axes()) {
+		t.Fatalf("pinned-default custom axis survived normalization: %d axes", len(pinned.Axes()))
+	}
+	pc, gc := plain.Cells(), pinned.Cells()
+	if len(pc) != len(gc) || pc[0].Name() != gc[0].Name() || pc[0].Seed != gc[0].Seed {
+		t.Errorf("pinned-default grid differs from unmentioned: %s/%d vs %s/%d",
+			gc[0].Name(), gc[0].Seed, pc[0].Name(), pc[0].Seed)
+	}
+}
+
+func TestCustomAxisExpansion(t *testing.T) {
+	spec := SweepSpec{
+		Datasets: []Dataset{RONnarrow},
+		Days:     sweepDays,
+		BaseSeed: 5,
+		Axes: []Axis{
+			// Deliberately out of canonical order: normalization must
+			// pin the standard axis ahead of the custom one regardless.
+			&gapScaleAxis{vals: []AxisValue{"1", "2"}},
+			HysteresisAxis(0, 0.25),
+		},
+	}
+	s, err := NewSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cells()) != 4 {
+		t.Fatalf("expanded %d cells, want 4", len(s.Cells()))
+	}
+	axes := s.Axes()
+	if len(axes) != 5 || axes[len(axes)-1].Name() != "gapscale" {
+		names := make([]string, len(axes))
+		for i, a := range axes {
+			names[i] = a.Name()
+		}
+		t.Fatalf("normalized axes = %v, want standard four then gapscale", names)
+	}
+	names := map[string]bool{}
+	for _, c := range s.Cells() {
+		names[c.Name()] = true
+	}
+	for _, want := range []string{
+		"ronnarrow-r00", "ronnarrow-g2-r00",
+		"ronnarrow-h0.25-r00", "ronnarrow-h0.25-g2-r00",
+	} {
+		if !names[want] {
+			t.Errorf("custom-axis grid lacks cell %s (have %v)", want, names)
+		}
+	}
+	// The custom coordinate reaches the cell's generic identity.
+	for _, c := range s.Cells() {
+		v, ok := c.Value("gapscale")
+		if !ok {
+			t.Fatalf("cell %s has no gapscale coordinate", c.Name())
+		}
+		if v == "2" && c.AxisValues()["gapscale"] != "2" {
+			t.Errorf("cell %s: AxisValues() lacks gapscale", c.Name())
+		}
+	}
+}
+
+func TestCustomAxisSnapshotRoundTrip(t *testing.T) {
+	res, err := RunSweep(SweepSpec{
+		Datasets: []Dataset{RONnarrow},
+		Days:     sweepDays,
+		BaseSeed: 13,
+		Axes:     []Axis{&gapScaleAxis{vals: []AxisValue{"2"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cells[0]
+	path := CellSnapshotPath(t.TempDir(), c.Cell.Name())
+	if err := NewCellSnapshot(c.Cell, c.Res).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadCellSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Axes["gapscale"] != "2" {
+		t.Errorf("snapshot axes = %v, want gapscale=2", snap.Axes)
+	}
+	restored, err := snap.RestoreStandalone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Report(), c.Res.Report(); got != want {
+		t.Errorf("restored custom-axis report differs:\n%s\nwant:\n%s", got, want)
+	}
+	def := DefaultConfig(RONnarrow, sweepDays)
+	if restored.Config.MeasureGapMin != 2*def.MeasureGapMin {
+		t.Errorf("restore did not re-apply the custom axis: gap %v", restored.Config.MeasureGapMin)
+	}
+}

@@ -5,16 +5,20 @@
 //
 // Beyond single campaigns (Run), the package provides the sweep engine
 // (SweepSpec, NewSweep, Sweep.Run): deterministic expansion of a
-// multi-axis campaign grid whose per-cell seeds derive from grid
-// coordinates via splitmix64, a worker pool that runs cells in any
-// order without affecting results, and replica merging into per-grid-
-// point tables. Sweeps are distributable and resumable: CellFilter
-// shards a grid across machines, CellSnapshot persists each finished
-// cell's aggregator state in a checksummed container, and SweepManifest
-// records the full grid so merge-only tooling can recombine any union
-// of completed cells — byte-identical to a single-machine run — and
-// report what is missing. See docs/ARCHITECTURE.md for the lifecycle
-// and file formats.
+// campaign grid over first-class value axes (Axis, the axis registry)
+// whose per-cell seeds derive from grid coordinates via splitmix64, a
+// worker pool that runs cells in any order without affecting results,
+// and replica merging into per-grid-point tables. Sweeps are
+// distributable and resumable: CellFilter shards a grid across
+// machines, CellSnapshot persists each finished cell's aggregator
+// state (axis coordinates included) in a checksummed container, and
+// SweepManifest records the full grid — every axis with its values —
+// so merge-only tooling can recombine any union of completed cells —
+// byte-identical to a single-machine run — report what is missing, and
+// re-derive the grid elsewhere. The public repro/experiment package is
+// the intended consumer surface: a functional-options builder, the
+// axis registry's CLI flag derivation, and custom-axis registration.
+// See docs/ARCHITECTURE.md for the lifecycle and file formats.
 package core
 
 import (

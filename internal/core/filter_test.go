@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"testing"
 	"time"
 )
@@ -8,10 +9,10 @@ import (
 func filterGrid(t *testing.T) []Cell {
 	t.Helper()
 	s, err := NewSweep(SweepSpec{
-		Datasets:   []Dataset{RON2003, RONnarrow},
-		Days:       sweepDays,
-		Replicas:   2,
-		Hysteresis: []float64{0, 0.25},
+		Datasets: []Dataset{RON2003, RONnarrow},
+		Days:     sweepDays,
+		Replicas: 2,
+		Axes:     []Axis{HysteresisAxis(0, 0.25)},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -109,18 +110,20 @@ func TestCellFilterValidateCatchesDeadTerms(t *testing.T) {
 	}
 }
 
-// TestSweepNewAxes covers the ProbeIntervals / LossWindows grid axes:
+// TestSweepNewAxes covers the probeinterval / losswindow grid axes:
 // expansion counts, cell naming, config wiring, and seed stability when
 // the grid grows along the new axes.
 func TestSweepNewAxes(t *testing.T) {
 	var got []Config
 	var cells []Cell
 	spec := SweepSpec{
-		Datasets:       []Dataset{RONnarrow},
-		Days:           sweepDays,
-		BaseSeed:       3,
-		ProbeIntervals: []time.Duration{0, 30 * time.Second},
-		LossWindows:    []int{0, 50},
+		Datasets: []Dataset{RONnarrow},
+		Days:     sweepDays,
+		BaseSeed: 3,
+		Axes: []Axis{
+			ProbeIntervalAxis(0, 30*time.Second),
+			LossWindowAxis(0, 50),
+		},
 		Configure: func(c Cell, cfg *Config) {
 			cells = append(cells, c)
 			got = append(got, *cfg)
@@ -136,12 +139,22 @@ func TestSweepNewAxes(t *testing.T) {
 	def := DefaultConfig(RONnarrow, sweepDays)
 	for i, c := range cells {
 		wantIv := def.ProbeInterval
-		if c.ProbeInterval > 0 {
-			wantIv = c.ProbeInterval
+		if v, ok := c.Value("probeinterval"); !ok {
+			t.Fatalf("cell %s has no probeinterval coordinate", c.Name())
+		} else if v != "0s" {
+			iv, err := time.ParseDuration(string(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantIv = iv
 		}
 		wantLW := def.LossWindow
-		if c.LossWindow > 0 {
-			wantLW = c.LossWindow
+		if v, _ := c.Value("losswindow"); v != "0" {
+			w, err := strconv.Atoi(string(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantLW = w
 		}
 		if got[i].ProbeInterval != wantIv || got[i].LossWindow != wantLW {
 			t.Errorf("cell %s: config (interval %v, window %d), want (%v, %d)",
@@ -169,18 +182,18 @@ func TestSweepNewAxes(t *testing.T) {
 	}
 	plainSeed := plain.Cells()[0].Seed
 	for _, c := range s.Cells() {
-		if c.ProbeInterval == 0 && c.LossWindow == 0 && c.Seed != plainSeed {
+		if len(c.AxisValues()) == 0 && c.Seed != plainSeed {
 			t.Errorf("default-axes cell %s changed seed: %d vs %d", c.Name(), c.Seed, plainSeed)
 		}
 	}
 
 	// Negative axis values are rejected.
 	if _, err := NewSweep(SweepSpec{Datasets: []Dataset{RONnarrow}, Days: sweepDays,
-		ProbeIntervals: []time.Duration{-time.Second}}); err == nil {
+		Axes: []Axis{ProbeIntervalAxis(-time.Second)}}); err == nil {
 		t.Error("NewSweep accepted a negative probe interval")
 	}
 	if _, err := NewSweep(SweepSpec{Datasets: []Dataset{RONnarrow}, Days: sweepDays,
-		LossWindows: []int{-1}}); err == nil {
+		Axes: []Axis{LossWindowAxis(-1)}}); err == nil {
 		t.Error("NewSweep accepted a negative loss window")
 	}
 }

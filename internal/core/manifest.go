@@ -5,44 +5,71 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 )
 
 // ManifestName is the filename of a sweep manifest inside its output
 // directory.
 const ManifestName = "sweep.json"
 
-// ManifestVersion is the version written by Manifest. ReadManifest also
-// accepts version 1 manifests (PR 1's format, without snapshot paths or
-// the base-seed record).
-const ManifestVersion = 2
+// ManifestVersion is the version written by Manifest: version 3, the
+// first format to serialize the full grid axis set generically instead
+// of fixed per-axis fields. ReadManifest also accepts version 1 (PR 1's
+// format, without snapshot paths or the base-seed record) and version 2
+// (fixed axes), reconstructing the generic axis form for both.
+const ManifestVersion = 3
 
 // SweepManifest records what a sweep wrote to its output directory, so
 // post-processing tools (cmd/ronsim -merge-only, cmd/ronreport) can find
-// and combine the per-cell artifacts without re-deriving the grid. A
+// and combine the per-cell artifacts without re-deriving the grid — and,
+// since version 3, enough of the spec (datasets, replicas, and every
+// axis with its full value list) that SweepSpec can re-derive it, which
+// is what lets a coordinator ship a grid to workers as pure data. A
 // sharded run writes the manifest for the FULL grid — including cells it
 // skipped — so any shard's manifest describes the whole sweep and
 // merge-only mode can report which grid points are still missing.
 type SweepManifest struct {
 	Version int `json:"version"`
-	// BaseSeed and Days echo the sweep spec, for provenance.
-	BaseSeed uint64          `json:"baseSeed,omitempty"`
-	Days     float64         `json:"days,omitempty"`
+	// BaseSeed and Days echo the sweep spec, for provenance and
+	// reconstruction.
+	BaseSeed uint64  `json:"baseSeed,omitempty"`
+	Days     float64 `json:"days,omitempty"`
+	// Replicas, Datasets, and Axes (version 3) record the normalized
+	// grid dimensions: dataset order, every grid axis in grid order
+	// with its complete canonical value list. ReadManifest reconstructs
+	// them for older versions by scanning the groups.
+	Replicas int             `json:"replicas,omitempty"`
+	Datasets []string        `json:"datasets,omitempty"`
+	Axes     []ManifestAxis  `json:"axes,omitempty"`
 	Groups   []ManifestGroup `json:"groups"`
+}
+
+// ManifestAxis serializes one grid axis: its registry name and its
+// canonical value list in grid order.
+type ManifestAxis struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
 }
 
 // ManifestGroup describes one merged grid point.
 type ManifestGroup struct {
-	Name       string   `json:"name"`
-	Dataset    string   `json:"dataset"`
-	Hosts      int      `json:"hosts"`
-	Methods    []string `json:"methods"`
-	Hysteresis float64  `json:"hysteresis,omitempty"`
-	Profile    string   `json:"profile,omitempty"`
-	// ProbeInterval (a Go duration string) and LossWindow record the
-	// grid point's §5.3 axis overrides; empty/zero means the default.
-	ProbeInterval string         `json:"probeInterval,omitempty"`
-	LossWindow    int            `json:"lossWindow,omitempty"`
-	Cells         []ManifestCell `json:"cells"`
+	Name    string   `json:"name"`
+	Dataset string   `json:"dataset"`
+	Hosts   int      `json:"hosts"`
+	Methods []string `json:"methods"`
+	// Axes are the grid point's non-default axis coordinates by axis
+	// name (canonical value encoding). ReadManifest fills it from the
+	// legacy fields for version 1 and 2 manifests.
+	Axes map[string]string `json:"axes,omitempty"`
+	// LegacyHysteresis, LegacyProfile, LegacyProbeInterval, and
+	// LegacyLossWindow are the fixed-axis fields of manifest versions 1
+	// and 2, parsed only to reconstruct Axes; version 3 never writes
+	// them.
+	LegacyHysteresis    float64        `json:"hysteresis,omitempty"`
+	LegacyProfile       string         `json:"profile,omitempty"`
+	LegacyProbeInterval string         `json:"probeInterval,omitempty"`
+	LegacyLossWindow    int            `json:"lossWindow,omitempty"`
+	Cells               []ManifestCell `json:"cells"`
 }
 
 // ManifestCell describes one replicate campaign.
@@ -69,20 +96,26 @@ func (r *SweepResult) Manifest(tracePath, snapPath func(Cell) string) *SweepMani
 		Version:  ManifestVersion,
 		BaseSeed: r.Spec.BaseSeed,
 		Days:     r.Spec.Days,
+		Replicas: r.Replicas,
+	}
+	for _, d := range r.Datasets {
+		m.Datasets = append(m.Datasets, d.String())
+	}
+	for _, a := range r.Axes {
+		ma := ManifestAxis{Name: a.Name()}
+		for _, v := range a.Values() {
+			ma.Values = append(ma.Values, string(v))
+		}
+		m.Axes = append(m.Axes, ma)
 	}
 	for gi := range r.Groups {
 		g := &r.Groups[gi]
 		mg := ManifestGroup{
-			Name:       g.Name(),
-			Dataset:    g.Dataset.String(),
-			Hosts:      g.Hosts,
-			Methods:    g.Methods,
-			Hysteresis: g.Hysteresis,
-			Profile:    g.Profile.Name,
-			LossWindow: g.LossWindow,
-		}
-		if g.ProbeInterval > 0 {
-			mg.ProbeInterval = g.ProbeInterval.String()
+			Name:    g.Name(),
+			Dataset: g.Dataset.String(),
+			Hosts:   g.Hosts,
+			Methods: g.Methods,
+			Axes:    g.AxisValues(),
 		}
 		for _, c := range g.Cells {
 			mc := ManifestCell{Name: c.Cell.Name(), Seed: c.Cell.Seed}
@@ -108,7 +141,13 @@ func (m *SweepManifest) Write(dir string) error {
 	return os.WriteFile(filepath.Join(dir, ManifestName), append(data, '\n'), 0o644)
 }
 
-// ReadManifest loads ManifestName from dir.
+// ReadManifest loads ManifestName from dir. Manifests of every
+// supported version come back in the generic axis form: for versions 1
+// and 2 the legacy fixed-axis fields are lifted into per-group Axes
+// maps and the grid's axis set (value lists in original grid order) is
+// reconstructed by scanning the groups — a full cross product visits
+// each axis's values in grid order, so first-seen order is original
+// order.
 func ReadManifest(dir string) (*SweepManifest, error) {
 	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
@@ -121,5 +160,112 @@ func ReadManifest(dir string) (*SweepManifest, error) {
 	if m.Version < 1 || m.Version > ManifestVersion {
 		return nil, fmt.Errorf("core: unsupported sweep manifest version %d", m.Version)
 	}
+	if m.Version < 3 {
+		m.migrateLegacyAxes()
+	}
 	return &m, nil
+}
+
+// migrateLegacyAxes converts a version 1/2 manifest's fixed-axis group
+// fields into the generic form: per-group Axes maps plus the top-level
+// axis set, dataset list, and replica count. Value lists are collected
+// strictly first-seen from the groups — expansion order visits every
+// axis's values in their original grid order, so first-seen order IS
+// original order, including for grids whose legacy value list did not
+// start with (or even contain) the axis default. Pre-seeding defaults
+// here would shift coordinate indices and corrupt every derived seed.
+func (m *SweepManifest) migrateLegacyAxes() {
+	// The legacy fixed axes in their canonical grid order; values fill
+	// in from the groups.
+	axes := []ManifestAxis{
+		{Name: "profile"},
+		{Name: "hysteresis"},
+		{Name: "probeinterval"},
+		{Name: "losswindow"},
+	}
+	seenValue := make([]map[string]bool, len(axes))
+	for i := range axes {
+		seenValue[i] = map[string]bool{}
+	}
+	seenDataset := map[string]bool{}
+	for gi := range m.Groups {
+		g := &m.Groups[gi]
+		vals := [len(standardAxisNames)]string{"", "0", "0s", "0"}
+		if g.LegacyProfile != "" {
+			vals[0] = g.LegacyProfile
+		}
+		if g.LegacyHysteresis > 0 {
+			vals[1] = formatHysteresis(g.LegacyHysteresis)
+		}
+		if g.LegacyProbeInterval != "" {
+			if iv, err := parseProbeInterval(g.LegacyProbeInterval); err == nil {
+				vals[2] = iv.String()
+			} else {
+				vals[2] = g.LegacyProbeInterval
+			}
+		}
+		if g.LegacyLossWindow > 0 {
+			vals[3] = strconv.Itoa(g.LegacyLossWindow)
+		}
+		for i := range axes {
+			if !seenValue[i][vals[i]] {
+				seenValue[i][vals[i]] = true
+				axes[i].Values = append(axes[i].Values, vals[i])
+			}
+		}
+		var ga map[string]string
+		def := [len(standardAxisNames)]string{"", "0", "0s", "0"}
+		for i, name := range standardAxisNames {
+			if vals[i] != def[i] {
+				if ga == nil {
+					ga = map[string]string{}
+				}
+				ga[name] = vals[i]
+			}
+		}
+		g.Axes = ga
+		if !seenDataset[g.Dataset] {
+			seenDataset[g.Dataset] = true
+			m.Datasets = append(m.Datasets, g.Dataset)
+		}
+		if len(g.Cells) > m.Replicas {
+			m.Replicas = len(g.Cells)
+		}
+	}
+	m.Axes = axes
+}
+
+// SweepSpec reconstructs the expandable spec the manifest records:
+// datasets, grid axes (rebuilt through the axis registry), replicas,
+// base seed, and campaign length. Expanding the returned spec
+// reproduces the manifest's exact cells, names, and seeds — the
+// property that turns a manifest into a self-contained unit of work a
+// coordinator can hand to any machine. Axes not registered in the
+// running binary are a clear error: silently dropping one would
+// mislabel every cell.
+func (m *SweepManifest) SweepSpec() (SweepSpec, error) {
+	spec := SweepSpec{
+		BaseSeed: m.BaseSeed,
+		Days:     m.Days,
+		Replicas: m.Replicas,
+	}
+	for _, name := range m.Datasets {
+		d, err := ParseDataset(name)
+		if err != nil {
+			return SweepSpec{}, fmt.Errorf("core: manifest dataset: %w", err)
+		}
+		spec.Datasets = append(spec.Datasets, d)
+	}
+	for _, ma := range m.Axes {
+		values := make([]AxisValue, len(ma.Values))
+		for i, v := range ma.Values {
+			values[i] = AxisValue(v)
+		}
+		a, err := NewAxis(ma.Name, values)
+		if err != nil {
+			return SweepSpec{}, fmt.Errorf("core: manifest axis %q: %w", ma.Name, err)
+		}
+		spec.Axes = append(spec.Axes, a)
+	}
+	return spec, nil
 }

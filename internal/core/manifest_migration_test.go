@@ -1,0 +1,238 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixtureManifest copies a testdata manifest into a temp dir under
+// the canonical name and reads it back.
+func loadFixtureManifest(t *testing.T, fixture string) *SweepManifest {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestManifestV2Migration is the compatibility acceptance test for the
+// axis redesign: a committed version 2 manifest (written by the
+// fixed-field engine for the grid -dataset ronnarrow -seed 7
+// -replicas 2 -hysteresis 0,0.25 -probeinterval 0,30s -losswindow 0,50
+// -lossscale 1,4) must load, reconstruct the legacy fixed axes as
+// generic axes, and re-expand to the exact same cells, names, and
+// seeds the old engine recorded.
+func TestManifestV2Migration(t *testing.T) {
+	m := loadFixtureManifest(t, "sweep_v2.json")
+	if m.Version != 2 {
+		t.Fatalf("fixture version = %d, want 2", m.Version)
+	}
+	wantAxes := map[string][]string{
+		"profile":       {"", "ls4-es1"},
+		"hysteresis":    {"0", "0.25"},
+		"probeinterval": {"0s", "30s"},
+		"losswindow":    {"0", "50"},
+	}
+	if len(m.Axes) != 4 {
+		t.Fatalf("migrated axes = %+v, want 4", m.Axes)
+	}
+	for _, ma := range m.Axes {
+		want, ok := wantAxes[ma.Name]
+		if !ok {
+			t.Errorf("unexpected migrated axis %q", ma.Name)
+			continue
+		}
+		if len(ma.Values) != len(want) {
+			t.Errorf("axis %s values = %v, want %v", ma.Name, ma.Values, want)
+			continue
+		}
+		for i := range want {
+			if ma.Values[i] != want[i] {
+				t.Errorf("axis %s value %d = %q, want %q", ma.Name, i, ma.Values[i], want[i])
+			}
+		}
+	}
+	if m.Replicas != 2 || len(m.Datasets) != 1 || m.Datasets[0] != "RONnarrow" {
+		t.Errorf("migrated replicas/datasets = %d/%v", m.Replicas, m.Datasets)
+	}
+
+	spec, err := m.SweepSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []ManifestCell
+	var wantGroups []string
+	for _, g := range m.Groups {
+		wantGroups = append(wantGroups, g.Name)
+		want = append(want, g.Cells...)
+	}
+	cells := s.Cells()
+	if len(cells) != len(want) {
+		t.Fatalf("reconstructed grid has %d cells, manifest %d", len(cells), len(want))
+	}
+	for i, c := range cells {
+		if c.Name() != want[i].Name || c.Seed != want[i].Seed {
+			t.Errorf("cell %d: reconstructed %s/%d, manifest %s/%d",
+				i, c.Name(), c.Seed, want[i].Name, want[i].Seed)
+		}
+	}
+	seenGroups := map[string]bool{}
+	for _, c := range cells {
+		seenGroups[c.GroupName()] = true
+	}
+	for _, g := range wantGroups {
+		if !seenGroups[g] {
+			t.Errorf("reconstructed grid lacks group %s", g)
+		}
+	}
+}
+
+// TestManifestV2MigrationNonDefaultFirst guards the index-preserving
+// property of migration: a legacy grid whose axis value list did not
+// start with (or contain) the default — e.g. the old CLI's
+// "-hysteresis 0.25,0.5" — must reconstruct with the original value
+// order, not with the default injected at index 0, or every
+// coordinate-derived seed shifts and a phantom baseline cell appears.
+func TestManifestV2MigrationNonDefaultFirst(t *testing.T) {
+	want, err := NewSweep(SweepSpec{
+		Datasets: []Dataset{RONnarrow},
+		Days:     sweepDays,
+		BaseSeed: 7,
+		Replicas: 2,
+		Axes:     []Axis{HysteresisAxis(0.25, 0.5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-write the manifest the pre-axis engine would have recorded
+	// for this grid: version 2, fixed per-group hysteresis fields.
+	m := &SweepManifest{Version: 2, BaseSeed: 7, Days: sweepDays}
+	var cur *ManifestGroup
+	for _, c := range want.Cells() {
+		if c.Replica == 0 {
+			h, err := parseHysteresis(string(c.Coords[1]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Groups = append(m.Groups, ManifestGroup{
+				Name: c.GroupName(), Dataset: c.Dataset.String(),
+				LegacyHysteresis: h,
+			})
+			cur = &m.Groups[len(m.Groups)-1]
+		}
+		cur.Cells = append(cur.Cells, ManifestCell{Name: c.Name(), Seed: c.Seed})
+	}
+	dir := t.TempDir()
+	if err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ma := range loaded.Axes {
+		if ma.Name == "hysteresis" {
+			if len(ma.Values) != 2 || ma.Values[0] != "0.25" || ma.Values[1] != "0.5" {
+				t.Fatalf("migrated hysteresis values = %v, want [0.25 0.5] (no injected default)", ma.Values)
+			}
+		}
+	}
+	spec, err := loaded.SweepSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := NewSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, wantCells := re.Cells(), want.Cells()
+	if len(got) != len(wantCells) {
+		t.Fatalf("reconstructed %d cells, want %d", len(got), len(wantCells))
+	}
+	for i := range got {
+		if got[i].Name() != wantCells[i].Name() || got[i].Seed != wantCells[i].Seed {
+			t.Errorf("cell %d: reconstructed %s/%d, want %s/%d",
+				i, got[i].Name(), got[i].Seed, wantCells[i].Name(), wantCells[i].Seed)
+		}
+	}
+}
+
+func TestManifestCorruptAndUnknownAxis(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Error("ReadManifest accepted corrupt JSON")
+	}
+
+	// A v3 manifest naming an axis this binary has not registered must
+	// fail spec reconstruction with an error naming the axis — never
+	// silently drop the dimension.
+	m := &SweepManifest{
+		Version:  3,
+		BaseSeed: 1,
+		Replicas: 1,
+		Datasets: []string{"RONnarrow"},
+		Axes: []ManifestAxis{
+			{Name: "profile", Values: []string{""}},
+			{Name: "warpfactor", Values: []string{"1", "9"}},
+		},
+	}
+	if err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("reading a manifest with an unknown axis must succeed (report tools only need groups): %v", err)
+	}
+	if _, err := loaded.SweepSpec(); err == nil {
+		t.Error("SweepSpec() accepted an unregistered axis")
+	} else if !strings.Contains(err.Error(), "warpfactor") {
+		t.Errorf("unknown-axis error does not name the axis: %v", err)
+	}
+}
+
+// TestLegacySnapshotMigration: a cell.snap written by the fixed-field
+// engine (no generic axes map in its metadata) still reads, reports its
+// coordinates through the generic Axes map, and restores standalone.
+func TestLegacySnapshotMigration(t *testing.T) {
+	snap, err := ReadCellSnapshot(filepath.Join("testdata", "cell_v2legacy.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Name != "ronnarrow-h0.25-p30s-w50-r00" {
+		t.Fatalf("fixture snapshot is %s", snap.Name)
+	}
+	want := map[string]string{"hysteresis": "0.25", "probeinterval": "30s", "losswindow": "50"}
+	if len(snap.Axes) != len(want) {
+		t.Fatalf("synthesized axes = %v, want %v", snap.Axes, want)
+	}
+	for k, v := range want {
+		if snap.Axes[k] != v {
+			t.Errorf("axis %s = %q, want %q", k, snap.Axes[k], v)
+		}
+	}
+	res, err := snap.RestoreStandalone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Hysteresis != 0.25 || res.Config.LossWindow != 50 {
+		t.Errorf("restored config did not re-apply legacy axes: %+v", res.Config)
+	}
+}

@@ -9,11 +9,11 @@ import (
 // points (hysteresis 0 and 0.25) with two replicas each.
 func shardSpec() SweepSpec {
 	return SweepSpec{
-		Datasets:   []Dataset{RONnarrow},
-		Days:       sweepDays,
-		BaseSeed:   21,
-		Replicas:   2,
-		Hysteresis: []float64{0, 0.25},
+		Datasets: []Dataset{RONnarrow},
+		Days:     sweepDays,
+		BaseSeed: 21,
+		Replicas: 2,
+		Axes:     []Axis{HysteresisAxis(0, 0.25)},
 	}
 }
 

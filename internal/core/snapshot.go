@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"repro/internal/analysis"
@@ -70,10 +71,20 @@ type CellSnapshot struct {
 	Seed    uint64 `json:"seed"`
 	Dataset string `json:"dataset"`
 	// Days is the cell's virtual campaign length.
-	Days       float64 `json:"days"`
-	Hysteresis float64 `json:"hysteresis,omitempty"`
-	// ProbeInterval and LossWindow are the cell's axis overrides; zero
-	// means the dataset default was used.
+	Days float64 `json:"days"`
+	// Axes holds the cell's non-default axis coordinates by axis name,
+	// in each axis's canonical value encoding — the generic identity
+	// that lets any registered axis (custom ones included) round-trip
+	// through a snapshot. Snapshots written before the axis redesign
+	// lack this map; ReadCellSnapshot synthesizes it from the legacy
+	// fields below.
+	Axes map[string]string `json:"axes,omitempty"`
+	// Hysteresis, ProbeInterval, LossWindow, and Profile mirror the
+	// standard axes' coordinates in their pre-axis fixed-field form.
+	// They are written for compatibility with older readers and are
+	// the source of Axes when loading old snapshots; new code should
+	// read Axes.
+	Hysteresis    float64       `json:"hysteresis,omitempty"`
 	ProbeInterval time.Duration `json:"probeIntervalNS,omitempty"`
 	LossWindow    int           `json:"lossWindow,omitempty"`
 	// Profile names the substrate variant ("" = calibrated default).
@@ -101,23 +112,69 @@ type CellSnapshot struct {
 // aggregator is referenced, not copied; it is flushed when the snapshot
 // is written.
 func NewCellSnapshot(c Cell, res *Result) *CellSnapshot {
-	return &CellSnapshot{
+	s := &CellSnapshot{
 		Version:       SnapshotVersion,
 		aggCodec:      analysis.SnapshotCodecVersion,
 		Name:          c.Name(),
 		Seed:          c.Seed,
 		Dataset:       c.Dataset.String(),
 		Days:          res.Config.Days,
-		Hysteresis:    c.Hysteresis,
-		ProbeInterval: c.ProbeInterval,
-		LossWindow:    c.LossWindow,
-		Profile:       c.Profile.Name,
+		Axes:          c.AxisValues(),
 		Hosts:         res.Testbed.N(),
 		Methods:       res.Agg.Methods(),
 		RONProbes:     res.RONProbes,
 		MeasureProbes: res.MeasureProbes,
 		RouteChanges:  res.RouteChanges,
 		agg:           res.Agg,
+	}
+	s.mirrorStandardAxes()
+	return s
+}
+
+// mirrorStandardAxes copies the standard axes' coordinates from the
+// generic Axes map into the legacy fixed fields, so snapshots written
+// by this engine stay readable by pre-axis tools.
+func (s *CellSnapshot) mirrorStandardAxes() {
+	if v, ok := s.Axes["hysteresis"]; ok {
+		if h, err := parseHysteresis(v); err == nil {
+			s.Hysteresis = h
+		}
+	}
+	if v, ok := s.Axes["probeinterval"]; ok {
+		if iv, err := parseProbeInterval(v); err == nil {
+			s.ProbeInterval = iv
+		}
+	}
+	if v, ok := s.Axes["losswindow"]; ok {
+		if w, err := parseLossWindow(v); err == nil {
+			s.LossWindow = w
+		}
+	}
+	if v, ok := s.Axes["profile"]; ok {
+		s.Profile = v
+	}
+}
+
+// legacyAxes synthesizes the generic Axes map from the fixed fields of
+// a snapshot written before the axis redesign.
+func (s *CellSnapshot) legacyAxes() {
+	set := func(name, value string) {
+		if s.Axes == nil {
+			s.Axes = map[string]string{}
+		}
+		s.Axes[name] = value
+	}
+	if s.Profile != "" {
+		set("profile", s.Profile)
+	}
+	if s.Hysteresis > 0 {
+		set("hysteresis", formatHysteresis(s.Hysteresis))
+	}
+	if s.ProbeInterval > 0 {
+		set("probeinterval", s.ProbeInterval.String())
+	}
+	if s.LossWindow > 0 {
+		set("losswindow", strconv.Itoa(s.LossWindow))
 	}
 }
 
@@ -209,6 +266,14 @@ func ReadCellSnapshot(path string) (*CellSnapshot, error) {
 	var snap CellSnapshot
 	if err := json.Unmarshal(body[off:off+metaLen], &snap); err != nil {
 		return nil, corrupt("metadata: " + err.Error())
+	}
+	if snap.Axes == nil {
+		// Pre-axis snapshot: lift the fixed fields into the generic map.
+		snap.legacyAxes()
+	} else {
+		// Axis-era snapshot: keep the mirrors consistent even if an
+		// older writer left them unset.
+		snap.mirrorStandardAxes()
 	}
 	off += metaLen
 	aggLen := int(binary.LittleEndian.Uint32(body[off : off+4]))
@@ -327,8 +392,14 @@ func (s *CellSnapshot) Restore(cfg Config) (*Result, error) {
 
 // RestoreStandalone rebuilds the cell's Result from the snapshot's own
 // metadata, for tools (merge-only mode, ronreport) that have no sweep
-// spec in hand. Sweeps that overrode Config.Methods cannot be restored
-// this way; Restore with the original Config covers those.
+// spec in hand. Every recorded axis coordinate is re-applied through
+// the axis registry, so custom axes round-trip as long as the restoring
+// binary links their definitions; an unregistered axis is a clear
+// error, never silently dropped. The profile axis is the exception: its
+// parameters are not persisted (restoring never re-runs the substrate),
+// so it is skipped exactly as the pre-axis engine did. Sweeps that
+// overrode Config.Methods cannot be restored this way; Restore with the
+// original Config covers those.
 func (s *CellSnapshot) RestoreStandalone() (*Result, error) {
 	d, err := ParseDataset(s.Dataset)
 	if err != nil {
@@ -336,12 +407,13 @@ func (s *CellSnapshot) RestoreStandalone() (*Result, error) {
 	}
 	cfg := DefaultConfig(d, s.Days)
 	cfg.Seed = s.Seed
-	cfg.Hysteresis = s.Hysteresis
-	if s.ProbeInterval > 0 {
-		cfg.ProbeInterval = s.ProbeInterval
-	}
-	if s.LossWindow > 0 {
-		cfg.LossWindow = s.LossWindow
+	for _, name := range sortedAxisNames(s.Axes) {
+		if name == "profile" {
+			continue
+		}
+		if err := applyAxisValue(name, AxisValue(s.Axes[name]), &cfg); err != nil {
+			return nil, fmt.Errorf("core: snapshot %s: %w", s.Name, err)
+		}
 	}
 	return s.Restore(cfg)
 }

@@ -22,10 +22,10 @@ type ProfileVariant struct {
 }
 
 // SweepSpec describes a grid of campaigns: the cross product of
-// datasets × profile variants × hysteresis settings, each run Replicas
-// times under derived seeds. Replicates of one grid point merge into one
-// set of tables, so a sweep answers "how do the paper's tables move under
-// these knobs" with per-point error bars hidden behind larger samples.
+// datasets × grid axes, each point run Replicas times under derived
+// seeds. Replicates of one grid point merge into one set of tables, so
+// a sweep answers "how do the paper's tables move under these knobs"
+// with per-point error bars hidden behind larger samples.
 type SweepSpec struct {
 	// Datasets to sweep; empty means {RON2003}.
 	Datasets []Dataset
@@ -39,18 +39,12 @@ type SweepSpec struct {
 	// Replicas is the number of seed-varied replicates per grid point;
 	// <=0 means 1.
 	Replicas int
-	// Profiles are the substrate variants; empty means the calibrated
-	// default only.
-	Profiles []ProfileVariant
-	// Hysteresis values crossed into the grid; empty means {0}.
-	Hysteresis []float64
-	// ProbeIntervals are routing-probe intervals crossed into the grid
-	// (the §5.3 design space varies how aggressively paths are probed).
-	// A zero entry selects the dataset default (15 s); empty means {0}.
-	ProbeIntervals []time.Duration
-	// LossWindows are selection-window sizes (in probes) crossed into
-	// the grid; a zero entry selects the default (100). Empty means {0}.
-	LossWindows []int
+	// Axes are the grid's value axes. The four standard axes (profile,
+	// hysteresis, probeinterval, losswindow) are always part of the
+	// grid in canonical order — an entry here overrides that axis's
+	// value list, and any other axis appends after them in the order
+	// given. Nil sweeps a single default-configured point per dataset.
+	Axes []Axis
 	// Parallel caps concurrently running cells; <=0 means
 	// runtime.GOMAXPROCS(0).
 	Parallel int
@@ -69,9 +63,9 @@ type SweepSpec struct {
 	// touch shared state without locking.
 	Reuse func(Cell, Config) (*Result, bool)
 	// Configure, when non-nil, is applied to each cell's Config after
-	// dataset, profile, hysteresis, and seed. It runs serially during
-	// expansion (NewSweep), so it may capture shared state without
-	// locking — e.g. to install per-cell trace sinks.
+	// the dataset defaults, axis values, and seed. It runs serially
+	// during expansion (NewSweep), so it may capture shared state
+	// without locking — e.g. to install per-cell trace sinks.
 	Configure func(Cell, *Config)
 	// Progress, when non-nil, receives each finished cell. Calls are
 	// serialized but arrive in completion order, which varies with
@@ -79,49 +73,51 @@ type SweepSpec struct {
 	Progress func(CellResult)
 }
 
-// Cell is one point of an expanded sweep grid.
+// Cell is one point of an expanded sweep grid: a dataset, one value
+// per grid axis, and a replica ordinal, with the campaign seed derived
+// from those coordinates.
 type Cell struct {
 	// Index is the cell's position in expansion order: datasets
-	// outermost, then profiles, hysteresis, probe intervals, loss
-	// windows, and replicas innermost.
+	// outermost, then the grid axes in order, replicas innermost.
 	Index int
 	// Group indexes the cell's merge group; replicas of one grid point
 	// share a group.
 	Group int
 	// Dataset selects the cell's measurement campaign (Table 3).
 	Dataset Dataset
-	// Profile is the cell's substrate variant.
-	Profile ProfileVariant
-	// Hysteresis is the cell's route-damping margin (0 = the paper's
-	// undamped selector).
-	Hysteresis float64
-	// ProbeInterval is the cell's routing-probe interval override; 0
-	// keeps the dataset default.
-	ProbeInterval time.Duration
-	// LossWindow is the cell's selection-window override (in probes);
-	// 0 keeps the default.
-	LossWindow int
+	// Axes is the grid's normalized axis list, shared by every cell of
+	// the sweep; Coords holds this cell's value per axis, same order.
+	Axes   []Axis
+	Coords []AxisValue
 	// Replica is the replicate ordinal within the group.
 	Replica int
 	// Seed is the derived campaign seed.
 	Seed uint64
 }
 
-// GroupName labels the cell's grid point (dataset plus non-default
-// knobs), usable as a directory name.
+// Value returns the cell's coordinate on the named axis.
+func (c Cell) Value(axis string) (AxisValue, bool) {
+	for i, a := range c.Axes {
+		if a.Name() == axis {
+			return c.Coords[i], true
+		}
+	}
+	return "", false
+}
+
+// AxisValues returns the cell's non-default coordinates as an axis
+// name → canonical value map (nil when every axis is at its default) —
+// the generic identity snapshots and manifests persist.
+func (c Cell) AxisValues() map[string]string {
+	return axisValuesByName(c.Axes, c.Coords)
+}
+
+// GroupName labels the cell's grid point (dataset plus every
+// non-default axis label, in grid order), usable as a directory name.
 func (c Cell) GroupName() string {
 	name := strings.ToLower(c.Dataset.String())
-	if c.Profile.Name != "" {
-		name += "-" + c.Profile.Name
-	}
-	if c.Hysteresis > 0 {
-		name += fmt.Sprintf("-h%g", c.Hysteresis)
-	}
-	if c.ProbeInterval > 0 {
-		name += "-p" + c.ProbeInterval.String()
-	}
-	if c.LossWindow > 0 {
-		name += fmt.Sprintf("-w%d", c.LossWindow)
+	for i, a := range c.Axes {
+		name += a.Label(c.Coords[i])
 	}
 	return name
 }
@@ -149,13 +145,11 @@ type CellResult struct {
 
 // GroupResult combines one grid point's replicas.
 type GroupResult struct {
-	// Dataset, Profile, Hysteresis, ProbeInterval, and LossWindow are
-	// the grid point's coordinates.
-	Dataset       Dataset
-	Profile       ProfileVariant
-	Hysteresis    float64
-	ProbeInterval time.Duration
-	LossWindow    int
+	// Dataset plus one value per grid axis (Axes/Coords, shared with
+	// the group's cells) are the grid point's coordinates.
+	Dataset Dataset
+	Axes    []Axis
+	Coords  []AxisValue
 	// Hosts and Methods describe the grid point's testbed size and
 	// method names; unlike Merged they are populated even when the
 	// group is incomplete.
@@ -175,6 +169,22 @@ type GroupResult struct {
 // Name labels the grid point.
 func (g *GroupResult) Name() string { return g.Cells[0].Cell.GroupName() }
 
+// Value returns the grid point's coordinate on the named axis.
+func (g *GroupResult) Value(axis string) (AxisValue, bool) {
+	for i, a := range g.Axes {
+		if a.Name() == axis {
+			return g.Coords[i], true
+		}
+	}
+	return "", false
+}
+
+// AxisValues returns the grid point's non-default coordinates by axis
+// name, as persisted in manifests.
+func (g *GroupResult) AxisValues() map[string]string {
+	return axisValuesByName(g.Axes, g.Coords)
+}
+
 // Complete reports whether every replica ran (or was reused), i.e.
 // whether Merged is populated.
 func (g *GroupResult) Complete() bool { return g.Merged != nil }
@@ -183,6 +193,12 @@ func (g *GroupResult) Complete() bool { return g.Merged != nil }
 type SweepResult struct {
 	// Spec is the spec the sweep was expanded from.
 	Spec SweepSpec
+	// Datasets, Axes, and Replicas are the normalized grid dimensions
+	// actually expanded (defaults resolved, standard axes pinned) —
+	// what the manifest records.
+	Datasets []Dataset
+	Axes     []Axis
+	Replicas int
 	// Cells holds every cell result in expansion order.
 	Cells []CellResult
 	// Groups holds the merged grid points in expansion order.
@@ -201,9 +217,12 @@ type SweepResult struct {
 // NewSweep; the grid (including derived seeds) is fixed at expansion
 // time, so Cells can be inspected — or persisted — before Run.
 type Sweep struct {
-	spec  SweepSpec
-	cells []Cell
-	cfgs  []Config
+	spec     SweepSpec
+	datasets []Dataset
+	axes     []Axis
+	replicas int
+	cells    []Cell
+	cfgs     []Config
 	// groups[g] lists the cell indices of group g in replica order.
 	groups [][]int
 }
@@ -219,7 +238,9 @@ func splitmix64(x uint64) uint64 {
 
 // deriveSeed mixes the base seed with cell coordinates. Using the
 // coordinates — not the flat cell index — means a cell keeps its seed
-// when the grid grows along another axis.
+// when the grid grows along another axis. (Adding a whole new axis
+// appends a coordinate and re-seeds the grid; growing an existing
+// axis's value list does not.)
 func deriveSeed(base uint64, parts ...uint64) uint64 {
 	x := splitmix64(base)
 	for _, p := range parts {
@@ -229,94 +250,87 @@ func deriveSeed(base uint64, parts ...uint64) uint64 {
 }
 
 // NewSweep expands and validates a spec. Every cell's Config is built
-// (and Configure applied) here, serially, in expansion order.
+// (axis values applied, Configure hook run) here, serially, in
+// expansion order: datasets outermost, then each grid axis in
+// normalized order, replicas innermost.
 func NewSweep(spec SweepSpec) (*Sweep, error) {
 	datasets := spec.Datasets
 	if len(datasets) == 0 {
 		datasets = []Dataset{RON2003}
 	}
-	profiles := spec.Profiles
-	if len(profiles) == 0 {
-		profiles = []ProfileVariant{{}}
+	axes, err := normalizeAxes(spec.Axes)
+	if err != nil {
+		return nil, err
 	}
-	hysteresis := spec.Hysteresis
-	if len(hysteresis) == 0 {
-		hysteresis = []float64{0}
-	}
-	intervals := spec.ProbeIntervals
-	if len(intervals) == 0 {
-		intervals = []time.Duration{0}
-	}
-	windows := spec.LossWindows
-	if len(windows) == 0 {
-		windows = []int{0}
+	values := make([][]AxisValue, len(axes))
+	combos := 1
+	for i, a := range axes {
+		values[i] = a.Values()
+		combos *= len(values[i])
 	}
 	replicas := spec.Replicas
 	if replicas <= 0 {
 		replicas = 1
 	}
-	s := &Sweep{spec: spec}
+	s := &Sweep{spec: spec, datasets: datasets, axes: axes, replicas: replicas}
 	// Cell names double as output paths (trace files, figure dirs), so
 	// duplicate grid points — duplicated axis values, colliding profile
-	// names — must be rejected rather than silently overwriting each
-	// other's artifacts.
+	// names, duplicated datasets — must be rejected rather than
+	// silently overwriting each other's artifacts.
 	seen := make(map[string]struct{})
+	coordIdx := make([]int, len(axes))
+	seedParts := make([]uint64, 0, len(axes)+2)
 	for di, d := range datasets {
-		for pi, pv := range profiles {
-			for hi, h := range hysteresis {
-				if h < 0 {
-					return nil, fmt.Errorf("core: sweep hysteresis %g < 0", h)
+		for combo := 0; combo < combos; combo++ {
+			// Row-major odometer: the first axis varies slowest, the
+			// last fastest — the same nesting the fixed-field loops had.
+			c := combo
+			for i := len(axes) - 1; i >= 0; i-- {
+				coordIdx[i] = c % len(values[i])
+				c /= len(values[i])
+			}
+			coords := make([]AxisValue, len(axes))
+			for i := range axes {
+				coords[i] = values[i][coordIdx[i]]
+			}
+			group := len(s.groups)
+			s.groups = append(s.groups, nil)
+			for r := 0; r < replicas; r++ {
+				seedParts = seedParts[:0]
+				seedParts = append(seedParts, uint64(di))
+				for _, idx := range coordIdx {
+					seedParts = append(seedParts, uint64(idx))
 				}
-				for ii, iv := range intervals {
-					if iv < 0 {
-						return nil, fmt.Errorf("core: sweep probe interval %v < 0", iv)
-					}
-					for wi, lw := range windows {
-						if lw < 0 {
-							return nil, fmt.Errorf("core: sweep loss window %d < 0", lw)
-						}
-						group := len(s.groups)
-						s.groups = append(s.groups, nil)
-						for r := 0; r < replicas; r++ {
-							cell := Cell{
-								Index:         len(s.cells),
-								Group:         group,
-								Dataset:       d,
-								Profile:       pv,
-								Hysteresis:    h,
-								ProbeInterval: iv,
-								LossWindow:    lw,
-								Replica:       r,
-								Seed: deriveSeed(spec.BaseSeed, uint64(di),
-									uint64(pi), uint64(hi), uint64(ii),
-									uint64(wi), uint64(r)),
-							}
-							if _, dup := seen[cell.Name()]; dup {
-								return nil, fmt.Errorf("core: sweep grid point %s duplicated (repeated axis value?)", cell.GroupName())
-							}
-							seen[cell.Name()] = struct{}{}
-							cfg := DefaultConfig(d, spec.Days)
-							cfg.Seed = cell.Seed
-							cfg.Profile = pv.Profile
-							cfg.Hysteresis = h
-							if iv > 0 {
-								cfg.ProbeInterval = iv
-							}
-							if lw > 0 {
-								cfg.LossWindow = lw
-							}
-							if spec.Configure != nil {
-								spec.Configure(cell, &cfg)
-							}
-							if err := cfg.Validate(); err != nil {
-								return nil, fmt.Errorf("core: sweep cell %s: %w", cell.Name(), err)
-							}
-							s.groups[group] = append(s.groups[group], cell.Index)
-							s.cells = append(s.cells, cell)
-							s.cfgs = append(s.cfgs, cfg)
-						}
+				seedParts = append(seedParts, uint64(r))
+				cell := Cell{
+					Index:   len(s.cells),
+					Group:   group,
+					Dataset: d,
+					Axes:    axes,
+					Coords:  coords,
+					Replica: r,
+					Seed:    deriveSeed(spec.BaseSeed, seedParts...),
+				}
+				if _, dup := seen[cell.Name()]; dup {
+					return nil, fmt.Errorf("core: sweep grid point %s duplicated (repeated axis value?)", cell.GroupName())
+				}
+				seen[cell.Name()] = struct{}{}
+				cfg := DefaultConfig(d, spec.Days)
+				cfg.Seed = cell.Seed
+				for i, a := range axes {
+					if err := a.Apply(coords[i], &cfg); err != nil {
+						return nil, fmt.Errorf("core: sweep cell %s: %w", cell.Name(), err)
 					}
 				}
+				if spec.Configure != nil {
+					spec.Configure(cell, &cfg)
+				}
+				if err := cfg.Validate(); err != nil {
+					return nil, fmt.Errorf("core: sweep cell %s: %w", cell.Name(), err)
+				}
+				s.groups[group] = append(s.groups[group], cell.Index)
+				s.cells = append(s.cells, cell)
+				s.cfgs = append(s.cfgs, cfg)
 			}
 		}
 	}
@@ -325,6 +339,13 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 
 // Cells returns the expanded grid in expansion order.
 func (s *Sweep) Cells() []Cell { return append([]Cell(nil), s.cells...) }
+
+// Axes returns the normalized grid axes (standard axes pinned first,
+// custom axes after) the sweep expanded over.
+func (s *Sweep) Axes() []Axis { return append([]Axis(nil), s.axes...) }
+
+// Datasets returns the normalized dataset list.
+func (s *Sweep) Datasets() []Dataset { return append([]Dataset(nil), s.datasets...) }
 
 // Run executes every selected cell over a worker pool and merges
 // replicas. Cells are independent campaigns, so any schedule yields the
@@ -409,6 +430,9 @@ func (s *Sweep) Run() (*SweepResult, error) {
 
 	out := &SweepResult{
 		Spec:     s.spec,
+		Datasets: s.Datasets(),
+		Axes:     s.Axes(),
+		Replicas: s.replicas,
 		Cells:    results,
 		Groups:   make([]GroupResult, len(s.groups)),
 		Parallel: workers,
@@ -431,14 +455,12 @@ func (s *Sweep) Run() (*SweepResult, error) {
 			names = append(names, m.Name)
 		}
 		gr := GroupResult{
-			Dataset:       first.Dataset,
-			Profile:       first.Profile,
-			Hysteresis:    first.Hysteresis,
-			ProbeInterval: first.ProbeInterval,
-			LossWindow:    first.LossWindow,
-			Hosts:         cfg.testbed().N(),
-			Methods:       names,
-			Cells:         cells,
+			Dataset: first.Dataset,
+			Axes:    first.Axes,
+			Coords:  first.Coords,
+			Hosts:   cfg.testbed().N(),
+			Methods: names,
+			Cells:   cells,
 		}
 		if complete {
 			merged, err := mergeCells(cells)

@@ -18,12 +18,14 @@ func TestSweepGridExpansion(t *testing.T) {
 	prof := netsim.DefaultProfile()
 	prof.LossScale = 2
 	spec := SweepSpec{
-		Datasets:   []Dataset{RON2003, RONnarrow},
-		Days:       sweepDays,
-		BaseSeed:   7,
-		Replicas:   3,
-		Profiles:   []ProfileVariant{{}, {Name: "lossy", Profile: prof}},
-		Hysteresis: []float64{0, 0.25},
+		Datasets: []Dataset{RON2003, RONnarrow},
+		Days:     sweepDays,
+		BaseSeed: 7,
+		Replicas: 3,
+		Axes: []Axis{
+			ProfileAxis(ProfileVariant{}, ProfileVariant{Name: "lossy", Profile: prof}),
+			HysteresisAxis(0, 0.25),
+		},
 	}
 	s, err := NewSweep(spec)
 	if err != nil {
@@ -67,9 +69,13 @@ func TestSweepRejectsDuplicateGridPoints(t *testing.T) {
 	// Cell names become output paths, so duplicated axis values must be
 	// an expansion error, not two cells racing on one trace file.
 	for name, spec := range map[string]SweepSpec{
-		"dataset":    {Datasets: []Dataset{RONnarrow, RONnarrow}, Days: sweepDays},
-		"hysteresis": {Datasets: []Dataset{RONnarrow}, Days: sweepDays, Hysteresis: []float64{0.25, 0.25}},
-		"profile":    {Datasets: []Dataset{RONnarrow}, Days: sweepDays, Profiles: []ProfileVariant{{}, {}}},
+		"dataset": {Datasets: []Dataset{RONnarrow, RONnarrow}, Days: sweepDays},
+		"hysteresis": {Datasets: []Dataset{RONnarrow}, Days: sweepDays,
+			Axes: []Axis{HysteresisAxis(0.25, 0.25)}},
+		"profile": {Datasets: []Dataset{RONnarrow}, Days: sweepDays,
+			Axes: []Axis{ProfileAxis(ProfileVariant{}, ProfileVariant{})}},
+		"axis twice": {Datasets: []Dataset{RONnarrow}, Days: sweepDays,
+			Axes: []Axis{HysteresisAxis(0), HysteresisAxis(0.25)}},
 	} {
 		if _, err := NewSweep(spec); err == nil {
 			t.Errorf("%s: NewSweep accepted a duplicated axis value", name)
@@ -82,9 +88,11 @@ func TestSweepSeedsStableAcrossGridGrowth(t *testing.T) {
 		BaseSeed: 1, Replicas: 2}
 	big := small
 	big.Replicas = 5
-	big.Hysteresis = []float64{0, 0.5}
-	big.ProbeIntervals = []time.Duration{0, 30 * time.Second}
-	big.LossWindows = []int{0, 50}
+	big.Axes = []Axis{
+		HysteresisAxis(0, 0.5),
+		ProbeIntervalAxis(0, 30*time.Second),
+		LossWindowAxis(0, 50),
+	}
 	sSmall, err := NewSweep(small)
 	if err != nil {
 		t.Fatal(err)
@@ -119,11 +127,11 @@ func renderGroup(g *GroupResult) string {
 // whether cells run serially or across a worker pool.
 func TestSweepDeterminismAcrossParallelism(t *testing.T) {
 	spec := SweepSpec{
-		Datasets:   []Dataset{RONnarrow},
-		Days:       sweepDays,
-		BaseSeed:   42,
-		Replicas:   4,
-		Hysteresis: []float64{0, 0.25},
+		Datasets: []Dataset{RONnarrow},
+		Days:     sweepDays,
+		BaseSeed: 42,
+		Replicas: 4,
+		Axes:     []Axis{HysteresisAxis(0, 0.25)},
 	}
 	serial := spec
 	serial.Parallel = 1
@@ -256,6 +264,31 @@ func TestSweepManifestRoundTrip(t *testing.T) {
 	}
 	if got.Version != ManifestVersion || got.BaseSeed != 9 {
 		t.Errorf("manifest version/baseSeed = %d/%d", got.Version, got.BaseSeed)
+	}
+	// Version 3 serializes the full grid dimensions: datasets, replica
+	// count, and every axis (standard ones included) with its values.
+	if got.Replicas != 2 || len(got.Datasets) != 1 || got.Datasets[0] != "RONnarrow" {
+		t.Errorf("manifest replicas/datasets = %d/%v", got.Replicas, got.Datasets)
+	}
+	if len(got.Axes) != 4 || got.Axes[0].Name != "profile" ||
+		got.Axes[1].Name != "hysteresis" || got.Axes[2].Name != "probeinterval" ||
+		got.Axes[3].Name != "losswindow" {
+		t.Errorf("manifest axes = %+v", got.Axes)
+	}
+	// The recorded spec re-expands to the identical grid.
+	spec, err := got.SweepSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := NewSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range re.Cells() {
+		if c.Name() != res.Cells[i].Cell.Name() || c.Seed != res.Cells[i].Cell.Seed {
+			t.Errorf("reconstructed cell %d = %s/%d, want %s/%d", i,
+				c.Name(), c.Seed, res.Cells[i].Cell.Name(), res.Cells[i].Cell.Seed)
+		}
 	}
 	if g.Cells[0].Snapshot != CellSnapshotRelPath(res.Cells[0].Cell.Name()) {
 		t.Errorf("manifest snapshot path = %q", g.Cells[0].Snapshot)
