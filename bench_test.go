@@ -13,8 +13,8 @@ package repro
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -249,40 +249,72 @@ func fecRun(nw *netsim.Network, tb *topo.Testbed, code *fec.Code,
 		100 * float64(postLost) / float64(packets)
 }
 
-// BenchmarkSweep measures the parallel sweep engine against a serial
-// run of the same grid: eight seed replicas of a compressed RONnarrow
-// campaign, merged into one set of tables. On a multi-core box the
-// parallel variant should approach a GOMAXPROCS-fold speedup, since
-// cells are independent CPU-bound campaigns.
+// benchSweepGrid runs the benchmark grid — eight seed replicas of a
+// compressed RONnarrow campaign merged into one set of tables — with
+// the given worker count.
+func benchSweepGrid(parallel int) (*core.SweepResult, error) {
+	return core.RunSweep(core.SweepSpec{
+		Datasets: []core.Dataset{core.RONnarrow},
+		Days:     benchDays,
+		BaseSeed: 1,
+		Replicas: 8,
+		Parallel: parallel,
+	})
+}
+
+// sweepSerialRef lazily measures one serial pass over the benchmark
+// grid, as the reference for the parallel sub-benches' scaling
+// efficiency metric.
+var (
+	sweepSerialRefOnce sync.Once
+	sweepSerialRefNs   float64
+)
+
+func sweepSerialRef(b *testing.B) float64 {
+	sweepSerialRefOnce.Do(func() {
+		t0 := time.Now()
+		if _, err := benchSweepGrid(1); err != nil {
+			b.Fatal(err)
+		}
+		sweepSerialRefNs = float64(time.Since(t0))
+	})
+	return sweepSerialRefNs
+}
+
+// BenchmarkSweep measures the sweep engine at fixed worker counts over
+// one grid: eight seed replicas of a compressed RONnarrow campaign,
+// merged into one set of tables. Each worker threads its cells through
+// a reusable campaign arena, so serial allocations band the arena's
+// cell-turnover cost; the parallel sub-benches report cells/sec plus a
+// scaling-efficiency metric (speedup over the serial reference divided
+// by the worker count — 1.0 is perfect scaling, and anything much below
+// GOMAXPROCS-proportional flags a contention regression; CI runs these
+// at GOMAXPROCS=2 and 4).
 func BenchmarkSweep(b *testing.B) {
-	// The engine caps workers at the cell count, so name the parallel
-	// variant by what actually runs.
-	workers := runtime.GOMAXPROCS(0)
-	if workers > 8 {
-		workers = 8
-	}
 	for _, bench := range []struct {
 		name     string
 		parallel int
 	}{
 		{"serial", 1},
-		{fmt.Sprintf("parallel=%d", workers), 0},
+		{"parallel=2", 2},
+		{"parallel=4", 4},
 	} {
 		b.Run(bench.name, func(b *testing.B) {
 			var res *core.SweepResult
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var err error
-				res, err = core.RunSweep(core.SweepSpec{
-					Datasets: []core.Dataset{core.RONnarrow},
-					Days:     benchDays,
-					BaseSeed: 1,
-					Replicas: 8,
-					Parallel: bench.parallel,
-				})
+				res, err = benchSweepGrid(bench.parallel)
 				if err != nil {
 					b.Fatal(err)
 				}
+			}
+			b.StopTimer()
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(float64(len(res.Cells))*float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
+			if bench.parallel > 1 {
+				b.ReportMetric(sweepSerialRef(b)/(nsPerOp*float64(bench.parallel)), "scaling-eff")
 			}
 			merged := res.Groups[0].Merged
 			b.Logf("%d cells on %d workers in %.2fs; merged %d measurement probes",
@@ -318,6 +350,28 @@ func BenchmarkSweep(b *testing.B) {
 		b.Logf("%d cells over windows {default,25,100}; %d measurement probes",
 			len(res.Cells), probes)
 	})
+}
+
+// BenchmarkSweepTurnover measures cell turnover through one reused
+// campaign arena — the per-worker steady state of a sweep: every
+// iteration reinitializes the full campaign world (netsim slabs,
+// selector rings, aggregator windows, calendar queue, probe stream) in
+// place for a fresh seed and runs the cell. Steady-state allocs/op is
+// ~0 (pinned exactly by TestArenaSecondCellZeroAllocs); this bench
+// bands the reinitialization + campaign wall-clock as cells/sec.
+func BenchmarkSweepTurnover(b *testing.B) {
+	arena := core.NewArena()
+	cfg := core.DefaultConfig(core.RONnarrow, benchDays)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		if _, err := arena.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
 }
 
 // --- Ablation benchmarks (design choices called out in DESIGN.md §5) ---

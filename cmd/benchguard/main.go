@@ -44,6 +44,8 @@ type Bench struct {
 	BytesPerOp   *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp  *float64 `json:"allocs_per_op,omitempty"`
 	ProbesPerSec *float64 `json:"probes_per_sec,omitempty"`
+	CellsPerSec  *float64 `json:"cells_per_sec,omitempty"`
+	ScalingEff   *float64 `json:"scaling_eff,omitempty"`
 }
 
 // File mirrors BENCH_campaign.json: benchmark sections keyed "pre" and
@@ -95,6 +97,10 @@ func parseBenchOutput(r io.Reader) (map[string]Bench, error) {
 				b.AllocsPerOp = ptr(v)
 			case "probes/sec":
 				b.ProbesPerSec = ptr(v)
+			case "cells/sec":
+				b.CellsPerSec = ptr(v)
+			case "scaling-eff":
+				b.ScalingEff = ptr(v)
 			}
 		}
 		if !seen {
@@ -112,6 +118,8 @@ func parseBenchOutput(r io.Reader) (map[string]Bench, error) {
 			b.BytesPerOp = minPtr(prev.BytesPerOp, b.BytesPerOp)
 			b.AllocsPerOp = minPtr(prev.AllocsPerOp, b.AllocsPerOp)
 			b.ProbesPerSec = maxPtr(prev.ProbesPerSec, b.ProbesPerSec)
+			b.CellsPerSec = maxPtr(prev.CellsPerSec, b.CellsPerSec)
+			b.ScalingEff = maxPtr(prev.ScalingEff, b.ScalingEff)
 		}
 		out[name] = b
 	}
@@ -146,7 +154,7 @@ func main() {
 		input    = flag.String("input", "-", "benchmark source: a `go test -bench` output file, or a benchguard JSON artifact (detected by leading '{'); '-' reads stdin")
 		baseline = flag.String("baseline", "", "committed BENCH_campaign.json to compare against (its 'post' section)")
 		maxNs    = flag.Float64("max-ns-regress", 0.10, "maximum fractional ns/op regression on the -ns-checked benchmarks")
-		nsules   = flag.String("ns-checked", "BenchmarkSweep/serial,BenchmarkCampaign,BenchmarkNetworkSendDirect,BenchmarkAggregatorObserve,BenchmarkSelectorSnapshot", "comma-separated benchmarks whose ns/op regressions fail the guard")
+		nsules   = flag.String("ns-checked", "BenchmarkSweep/serial,BenchmarkSweepTurnover,BenchmarkCampaign,BenchmarkNetworkSendDirect,BenchmarkAggregatorObserve,BenchmarkSelectorSnapshot", "comma-separated benchmarks whose ns/op regressions fail the guard")
 		cal      = flag.String("calibrate", "BenchmarkComponentTransit", "benchmark used to normalize machine speed before ns/op checks ('' disables): baseline ns values are scaled by this benchmark's current/baseline ratio, clamped to [0.5,2], so the guard measures hot-path regressions relative to the machine's arithmetic speed instead of raw cross-machine deltas")
 		zeroed   = flag.String("zero-allocs", "BenchmarkNetworkSendDirect,BenchmarkAggregatorObserve,BenchmarkSelectorSnapshot,BenchmarkSelectorBestLoss,BenchmarkComponentTransit", "comma-separated benchmarks that must report exactly 0 allocs/op")
 	)

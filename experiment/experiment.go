@@ -53,6 +53,10 @@ type Experiment struct {
 
 	sweep   *core.Sweep // memoized expansion
 	snapErr error
+	// snapBuf is the snapshot encode buffer reused across cells; the
+	// Progress hook (which writes snapshots) is serialized by the sweep
+	// engine, so one buffer serves every worker without locking.
+	snapBuf []byte
 }
 
 // New builds an experiment from options. The grid is not expanded yet;
@@ -89,7 +93,9 @@ func New(opts ...Option) (*Experiment, error) {
 		if e.outDir != "" && r.Err == nil && !r.Cached && r.Res != nil {
 			snap := core.NewCellSnapshot(r.Cell, r.Res)
 			path := core.CellSnapshotPath(e.outDir, r.Cell.Name())
-			if err := snap.WriteFile(path); err != nil && e.snapErr == nil {
+			buf, err := snap.WriteFileBuf(path, e.snapBuf)
+			e.snapBuf = buf
+			if err != nil && e.snapErr == nil {
 				e.snapErr = err
 			}
 		}

@@ -103,17 +103,49 @@ func NewAggregator(methods []string, nHosts int) *Aggregator {
 		hodSent:     make([][24]int64, nm),
 		hodLost:     make([][24]int64, nm),
 	}
+	// The per-method arrays are carved from three slabs (an aggregator
+	// is built per sweep cell, so constructor allocation count scales
+	// with the grid). Full-slice-expression carving keeps an append on
+	// one row from stomping its neighbor; nothing appends to these.
+	pathSlab := make([]pathStats, nm*a.nPaths)
+	winSlab := make([]pathWindows, nm*a.nPaths)
+	hourSlab := make([]int64, nm*len(Table6Thresholds))
+	cdfs := make([]CDF, nm)
 	for m := 0; m < nm; m++ {
-		a.perPath[m] = make([]pathStats, a.nPaths)
-		a.wins[m] = make([]pathWindows, a.nPaths)
+		a.perPath[m] = pathSlab[m*a.nPaths : (m+1)*a.nPaths : (m+1)*a.nPaths]
+		a.wins[m] = winSlab[m*a.nPaths : (m+1)*a.nPaths : (m+1)*a.nPaths]
 		for p := range a.wins[m] {
 			a.wins[m][p].w20.index = -1
 			a.wins[m][p].w60.index = -1
 		}
-		a.win20Rates[m] = &CDF{}
-		a.hourCounts[m] = make([]int64, len(Table6Thresholds))
+		a.win20Rates[m] = &cdfs[m]
+		a.hourCounts[m] = hourSlab[m*len(Table6Thresholds) : (m+1)*len(Table6Thresholds) : (m+1)*len(Table6Thresholds)]
 	}
 	return a
+}
+
+// Reset returns the aggregator to its freshly constructed state — same
+// method list, same host count, every counter, window, pooled sample,
+// and diurnal tally zeroed — while retaining all storage. A campaign
+// driver that reuses one aggregator across cells gets query results
+// identical to a NewAggregator per cell without re-paying the
+// O(methods × hosts²) allocation.
+func (a *Aggregator) Reset() {
+	for m := range a.methods {
+		clear(a.perPath[m])
+		for p := range a.wins[m] {
+			a.wins[m][p] = pathWindows{
+				w20: windowState{index: -1},
+				w60: windowState{index: -1},
+			}
+		}
+		a.win20Rates[m].Reset()
+		clear(a.hourCounts[m])
+		a.hodSent[m] = [24]int64{}
+		a.hodLost[m] = [24]int64{}
+	}
+	clear(a.hourPeriods)
+	a.hourMaxRate = 0
 }
 
 // Methods returns the method names.

@@ -28,6 +28,25 @@ type CDF struct {
 	// re-sorted per novel sample. Invariant: every queryable state is
 	// reachable only through compact().
 	pending []float64
+
+	// scratchVals/scratchCounts are the spare run buffers compact and
+	// Merge build into before swapping them with vals/counts, so
+	// steady-state compaction (a reused aggregator re-observing the
+	// same value population) allocates nothing.
+	scratchVals   []float64
+	scratchCounts []int64
+}
+
+// Reset empties the CDF, retaining all storage, so a reused aggregator's
+// window pools start exactly like freshly constructed ones without
+// re-paying their allocation.
+func (c *CDF) Reset() {
+	c.vals = c.vals[:0]
+	c.counts = c.counts[:0]
+	c.cum = c.cum[:0]
+	c.pending = c.pending[:0]
+	c.cumStale = false
+	c.total = 0
 }
 
 // pendingLimit bounds the staging buffer; compaction is O((runs +
@@ -42,6 +61,11 @@ func (c *CDF) Add(v float64) {
 	if i := c.find(v); i >= 0 {
 		c.counts[i]++
 		return
+	}
+	if c.pending == nil {
+		// The staging buffer always fills to pendingLimit before it is
+		// drained; allocate it full-size once instead of growing.
+		c.pending = make([]float64, 0, pendingLimit)
 	}
 	c.pending = append(c.pending, v)
 	if len(c.pending) >= pendingLimit {
@@ -91,8 +115,7 @@ func (c *CDF) Merge(other *CDF) {
 	if len(other.vals) == 0 {
 		return
 	}
-	merged := make([]float64, 0, len(c.vals)+len(other.vals))
-	mcounts := make([]int64, 0, len(c.vals)+len(other.vals))
+	merged, mcounts := c.scratchFor(len(c.vals) + len(other.vals))
 	i, j := 0, 0
 	for i < len(c.vals) || j < len(other.vals) {
 		switch {
@@ -111,8 +134,7 @@ func (c *CDF) Merge(other *CDF) {
 			j++
 		}
 	}
-	c.vals = merged
-	c.counts = mcounts
+	c.swapInRuns(merged, mcounts)
 	c.total += other.total
 	c.cumStale = true
 }
@@ -126,14 +148,35 @@ func (c *CDF) find(v float64) int {
 	return -1
 }
 
-// compact merges the pending staging buffer into the sorted runs.
+// swapInRuns installs freshly built run buffers (grown from the scratch
+// pair) as the live runs, retiring the old live buffers to scratch for
+// the next rebuild.
+func (c *CDF) swapInRuns(vals []float64, counts []int64) {
+	c.scratchVals, c.vals = c.vals, vals
+	c.scratchCounts, c.counts = c.counts, counts
+}
+
+// scratchFor returns the scratch run buffers ready to receive need
+// entries, growing them with headroom in one allocation when short so a
+// rebuild never pays per-append growth.
+func (c *CDF) scratchFor(need int) ([]float64, []int64) {
+	if cap(c.scratchVals) < need {
+		n := need + need/2
+		c.scratchVals = make([]float64, 0, n)
+		c.scratchCounts = make([]int64, 0, n)
+	}
+	return c.scratchVals[:0], c.scratchCounts[:0]
+}
+
+// compact merges the pending staging buffer into the sorted runs,
+// building into the retained scratch buffers so steady-state compaction
+// is allocation-free.
 func (c *CDF) compact() {
 	if len(c.pending) == 0 {
 		return
 	}
 	sort.Float64s(c.pending)
-	merged := make([]float64, 0, len(c.vals)+len(c.pending))
-	mcounts := make([]int64, 0, len(c.vals)+len(c.pending))
+	merged, mcounts := c.scratchFor(len(c.vals) + len(c.pending))
 	i, j := 0, 0
 	for i < len(c.vals) || j < len(c.pending) {
 		if j >= len(c.pending) || (i < len(c.vals) && c.vals[i] < c.pending[j]) {
@@ -157,8 +200,7 @@ func (c *CDF) compact() {
 		merged = append(merged, v)
 		mcounts = append(mcounts, n)
 	}
-	c.vals = merged
-	c.counts = mcounts
+	c.swapInRuns(merged, mcounts)
 	c.pending = c.pending[:0]
 	c.cumStale = true
 }

@@ -102,8 +102,15 @@ func (a *Aggregator) Hosts() int { return a.nHosts }
 // checksummed container (see internal/core's cell snapshots) when
 // writing to disk.
 func (a *Aggregator) MarshalBinary() ([]byte, error) {
+	return a.AppendBinary(nil)
+}
+
+// AppendBinary is MarshalBinary appending to buf, so per-cell snapshot
+// writers can reuse one encode buffer across cells instead of
+// allocating a payload-sized temporary per finished cell.
+func (a *Aggregator) AppendBinary(buf []byte) ([]byte, error) {
 	a.Flush()
-	w := &binWriter{}
+	w := &binWriter{buf: buf}
 	w.u8(aggSnapshotVersion)
 	w.u32(uint32(len(a.methods)))
 	w.u32(uint32(a.nHosts))

@@ -71,37 +71,12 @@ type campaign struct {
 	res *Result
 }
 
-// Run executes a campaign and returns its results.
+// Run executes a campaign and returns its results. It wraps a throwaway
+// Arena, so the Result is independent and safe to retain; campaign
+// drivers running many cells keep a long-lived Arena instead and get
+// allocation-free cell turnover.
 func Run(cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	tb := cfg.testbed()
-	methods := cfg.methods()
-	names := make([]string, len(methods))
-	for i, m := range methods {
-		names[i] = m.Name
-	}
-
-	c := &campaign{
-		cfg:           cfg,
-		tb:            tb,
-		nw:            netsim.New(tb, cfg.Profile, cfg.Seed),
-		sel:           route.NewSelectorWindow(tb.N(), cfg.LossWindow),
-		agg:           analysis.NewAggregator(names, tb.N()),
-		rng:           netsim.NewSource(cfg.Seed ^ 0xCA39A160),
-		methods:       methods,
-		end:           netsim.Time(cfg.Days * float64(netsim.Day)),
-		probeIvl:      netsim.FromDuration(cfg.ProbeInterval),
-		refreshIvl:    netsim.FromDuration(cfg.TableRefresh),
-		perNodeMethod: make([]int, tb.N()),
-	}
-	c.res = &Result{Config: cfg, Testbed: tb, Methods: methods, Agg: c.agg}
-
-	c.seed()
-	c.loop()
-	c.agg.Flush()
-	return c.res, nil
+	return NewArena().Run(cfg)
 }
 
 // seed schedules the initial events: one routing probe per ordered pair
@@ -111,6 +86,7 @@ func Run(cfg Config) (*Result, error) {
 func (c *campaign) seed() {
 	n := c.tb.N()
 	interval := c.probeIvl
+	c.probes.presize(n * (n - 1))
 	for s := 0; s < n; s++ {
 		for d := 0; d < n; d++ {
 			if s == d {

@@ -169,7 +169,12 @@ func (c Config) methods() []route.Method {
 func (c Config) roundTrip() bool { return c.Dataset == RONwide }
 
 // Validate checks the configuration.
-func (c Config) Validate() error {
+func (c Config) Validate() error { return c.validate(c.methods()) }
+
+// validate is Validate with the effective method list supplied by the
+// caller, so the arena's hot path can validate against its cached
+// methods without rebuilding them per cell.
+func (c Config) validate(methods []route.Method) error {
 	if c.Days <= 0 {
 		return fmt.Errorf("core: Days = %v, want > 0", c.Days)
 	}
@@ -183,7 +188,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: measurement gap [%v,%v] invalid",
 			c.MeasureGapMin, c.MeasureGapMax)
 	}
-	for _, m := range c.methods() {
+	for _, m := range methods {
 		if err := m.Validate(); err != nil {
 			return fmt.Errorf("core: %w", err)
 		}

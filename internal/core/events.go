@@ -141,8 +141,14 @@ func (q *eventQueue) push(e event) {
 }
 
 // bucketSeedCap is each bucket's pre-carved slab capacity; buckets
-// needing more fall back to individual append growth.
-const bucketSeedCap = 4
+// needing more fall back to individual append growth. 8 absorbs most
+// of the follow-up clusters a global congestion episode synchronizes
+// into one window (many pairs lose probes at once, all rescheduling
+// +1 s), so campaigns with fresh seeds rarely grow a reused queue's
+// buckets, while keeping the per-arena slab at 128 KB (16 measured no
+// fewer steady-state growths but doubled the slab's zeroing and cache
+// cost, visible at 4 workers on one core).
+const bucketSeedCap = 8
 
 // init lays every bucket out in one slab (len 0, cap bucketSeedCap,
 // three-index sliced so an overgrown bucket reallocates on its own
@@ -156,6 +162,25 @@ func (q *eventQueue) init() {
 		q.buckets[i] = slab[o : o : o+bucketSeedCap]
 	}
 	q.occupied = make([]uint64, occupancyLen)
+}
+
+// reset empties the queue back to its ready-to-use zero state, keeping
+// every bucket's grown capacity (and the overflow heap's), so a reused
+// queue serves its next campaign without reallocating. Behavior is
+// indistinguishable from a fresh queue: all ordering state is derived
+// from the fields reset here.
+func (q *eventQueue) reset() {
+	if q.buckets == nil {
+		return // zero value, already ready
+	}
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	clear(q.occupied)
+	q.windowStart, q.cur, q.curIdx = 0, 0, 0
+	q.count = 0
+	q.overflow = q.overflow[:0]
+	q.seq = 0
 }
 
 // pop removes and returns the earliest event. It must not be called on
@@ -308,6 +333,19 @@ type probeStream struct {
 	interval netsim.Time
 }
 
+// presize readies the slot arrays for n pairs in one allocation each
+// (instead of log n append-growth steps) on the fresh path; reused
+// streams with enough capacity keep their arrays.
+func (p *probeStream) presize(n int) {
+	if cap(p.phases) >= n {
+		return
+	}
+	p.phases = make([]netsim.Time, 0, n)
+	p.srcs = make([]int32, 0, n)
+	p.dsts = make([]int32, 0, n)
+	p.seqs = make([]uint64, 0, n)
+}
+
 // add registers one pair's phase during seeding (pre-start, unsorted),
 // with the sequence number its first firing carries.
 func (p *probeStream) add(phase netsim.Time, src, dst int32, seq uint64) {
@@ -317,24 +355,36 @@ func (p *probeStream) add(phase netsim.Time, src, dst int32, seq uint64) {
 	p.seqs = append(p.seqs, seq)
 }
 
-// start sorts the wheel and begins era 0. The sort is stable in
-// registration order so equal phases fire in the order they were
-// seeded, matching the retired queue's sequence tie-break.
+// reset empties the wheel, keeping the slot arrays' capacity, so a
+// reused stream re-seeds without reallocating.
+func (p *probeStream) reset() {
+	p.phases = p.phases[:0]
+	p.srcs = p.srcs[:0]
+	p.dsts = p.dsts[:0]
+	p.seqs = p.seqs[:0]
+	p.cursor = 0
+	p.era = 0
+	p.interval = 0
+}
+
+// Len/Less/Swap implement sort.Interface over the parallel slot arrays
+// so start can sort the wheel in place, allocation-free.
+func (p *probeStream) Len() int           { return len(p.phases) }
+func (p *probeStream) Less(a, b int) bool { return p.phases[a] < p.phases[b] }
+func (p *probeStream) Swap(a, b int) {
+	p.phases[a], p.phases[b] = p.phases[b], p.phases[a]
+	p.srcs[a], p.srcs[b] = p.srcs[b], p.srcs[a]
+	p.dsts[a], p.dsts[b] = p.dsts[b], p.dsts[a]
+	p.seqs[a], p.seqs[b] = p.seqs[b], p.seqs[a]
+}
+
+// start sorts the wheel and begins era 0. The in-place sort is stable in
+// registration order, so equal phases fire in the order they were
+// seeded, matching the retired queue's sequence tie-break (any stable
+// sort produces the same unique permutation).
 func (p *probeStream) start(interval netsim.Time) {
 	p.interval = interval
-	idx := make([]int, len(p.phases))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return p.phases[idx[a]] < p.phases[idx[b]] })
-	phases := make([]netsim.Time, len(idx))
-	srcs := make([]int32, len(idx))
-	dsts := make([]int32, len(idx))
-	seqs := make([]uint64, len(idx))
-	for i, j := range idx {
-		phases[i], srcs[i], dsts[i], seqs[i] = p.phases[j], p.srcs[j], p.dsts[j], p.seqs[j]
-	}
-	p.phases, p.srcs, p.dsts, p.seqs = phases, srcs, dsts, seqs
+	sort.Stable(p)
 }
 
 // peek returns the next probe's firing time and sequence number; ok is

@@ -182,29 +182,54 @@ func (s *CellSnapshot) legacyAxes() {
 // flushed and ready to query or merge.
 func (s *CellSnapshot) Aggregator() *analysis.Aggregator { return s.agg }
 
+// AppendContainer appends the snapshot's on-disk container — magic,
+// length-prefixed JSON metadata, length-prefixed aggregator payload,
+// trailing CRC-32 of the container bytes — to buf and returns the
+// extended slice. Passing a buffer retained across cells lets a sweep
+// persist every finished cell without allocating a payload-sized
+// temporary each time.
+func (s *CellSnapshot) AppendContainer(buf []byte) ([]byte, error) {
+	meta, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	start := len(buf)
+	buf = append(buf, snapshotMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(meta)))
+	buf = append(buf, meta...)
+	// The aggregator payload's length prefix is backfilled once the
+	// payload has been appended in place (no separate payload buffer).
+	lenOff := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf, err = s.agg.AppendBinary(buf)
+	if err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint32(buf[lenOff:], uint32(len(buf)-lenOff-4))
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:])), nil
+}
+
 // WriteFile stores the snapshot at path atomically: the container is
 // assembled in memory, written to a temporary file in the same
 // directory, and renamed into place, so readers only ever see absent or
 // complete snapshots. Parent directories are created as needed.
 func (s *CellSnapshot) WriteFile(path string) error {
-	meta, err := json.Marshal(s)
+	_, err := s.WriteFileBuf(path, nil)
+	return err
+}
+
+// WriteFileBuf is WriteFile with a caller-retained encode buffer: the
+// container is assembled into scratch's storage (grown as needed) and
+// the grown buffer is returned for the caller's next write, so
+// persisting a stream of cells allocates no per-cell temporaries.
+func (s *CellSnapshot) WriteFileBuf(path string, scratch []byte) ([]byte, error) {
+	buf, err := s.AppendContainer(scratch[:0])
 	if err != nil {
-		return err
+		return scratch, err
 	}
-	aggData, err := s.agg.MarshalBinary()
-	if err != nil {
-		return err
-	}
-	buf := make([]byte, 0, len(snapshotMagic)+8+len(meta)+len(aggData)+4)
-	buf = append(buf, snapshotMagic...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(meta)))
-	buf = append(buf, meta...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(aggData)))
-	buf = append(buf, aggData...)
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
+		return buf, err
 	}
 	// A process killed between CreateTemp and rename leaves a .tmp*
 	// file behind; sweep directories are compared and rsynced whole, so
@@ -217,22 +242,22 @@ func (s *CellSnapshot) WriteFile(path string) error {
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
-		return err
+		return buf, err
 	}
 	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return err
+		return buf, err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return err
+		return buf, err
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return err
+		return buf, err
 	}
-	return nil
+	return buf, nil
 }
 
 // ReadCellSnapshot loads and verifies a snapshot: magic, section

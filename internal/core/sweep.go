@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
@@ -348,11 +349,14 @@ func (s *Sweep) Axes() []Axis { return append([]Axis(nil), s.axes...) }
 func (s *Sweep) Datasets() []Dataset { return append([]Dataset(nil), s.datasets...) }
 
 // Run executes every selected cell over a worker pool and merges
-// replicas. Cells are independent campaigns, so any schedule yields the
-// same per-cell results; merging happens afterwards in expansion order,
-// making the merged tables byte-identical across Parallel settings —
-// and, because seeds derive from coordinates, across any sharding by
-// Filter or reuse of persisted snapshots.
+// replicas. Each worker owns a reusable Arena, so successive cells pay
+// in-place reinitialization instead of full construction. Cells are
+// independent campaigns, so any schedule yields the same per-cell
+// results; each group's replicas are merged in replica order the moment
+// its last cell lands — concurrently across groups, on whichever worker
+// finished the group — making the merged tables byte-identical across
+// Parallel settings, and, because seeds derive from coordinates, across
+// any sharding by Filter or reuse of persisted snapshots.
 func (s *Sweep) Run() (*SweepResult, error) {
 	start := time.Now()
 	results := make([]CellResult, len(s.cells))
@@ -388,6 +392,45 @@ func (s *Sweep) Run() (*SweepResult, error) {
 		return nil, errors.New("core: sweep cell filter selected no cells")
 	}
 
+	// Eager group merging: pending[g] counts the group's cells still in
+	// flight; the worker that drops it to zero merges the group right
+	// away (replica order, so the outcome matches a post-drain serial
+	// merge byte for byte) while other workers keep running cells.
+	// Groups with skipped cells can never complete and are left alone;
+	// groups satisfied entirely from snapshots merge in the final pass.
+	pending := make([]int32, len(s.groups))
+	mergeable := make([]bool, len(s.groups))
+	merged := make([]*Result, len(s.groups))
+	mergeErrs := make([]error, len(s.groups))
+	failed := make([]atomic.Bool, len(s.groups))
+	for g, idxs := range s.groups {
+		mergeable[g] = true
+		for _, i := range idxs {
+			if results[i].Skipped {
+				mergeable[g] = false
+			} else if !results[i].Cached {
+				pending[g]++
+			}
+		}
+	}
+	finishCell := func(i int) {
+		g := results[i].Cell.Group
+		if results[i].Err != nil {
+			failed[g].Store(true)
+		}
+		if !mergeable[g] || atomic.AddInt32(&pending[g], -1) != 0 {
+			return
+		}
+		if failed[g].Load() {
+			return // Run aborts on the cell error; nothing to merge
+		}
+		cells := make([]*CellResult, len(s.groups[g]))
+		for k, ci := range s.groups[g] {
+			cells[k] = &results[ci]
+		}
+		merged[g], mergeErrs[g] = mergeCells(cells)
+	}
+
 	workers := s.spec.Parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -401,13 +444,15 @@ func (s *Sweep) Run() (*SweepResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			arena := NewArena()
 			for i := range jobs {
 				t0 := time.Now()
-				res, err := Run(s.cfgs[i])
+				res, err := arena.RunRetained(s.cfgs[i])
 				results[i].Res = res
 				results[i].Wall = time.Since(t0)
 				results[i].Err = err
 				progress(i)
+				finishCell(i)
 			}
 		}()
 	}
@@ -440,6 +485,9 @@ func (s *Sweep) Run() (*SweepResult, error) {
 		Reused:   reused,
 	}
 	for g, idxs := range s.groups {
+		if mergeErrs[g] != nil {
+			return nil, mergeErrs[g]
+		}
 		cells := make([]*CellResult, len(idxs))
 		complete := true
 		for k, i := range idxs {
@@ -463,11 +511,16 @@ func (s *Sweep) Run() (*SweepResult, error) {
 			Cells:   cells,
 		}
 		if complete {
-			merged, err := mergeCells(cells)
-			if err != nil {
-				return nil, err
+			gr.Merged = merged[g]
+			if gr.Merged == nil {
+				// Groups the pool never merged: every cell came from a
+				// snapshot, or the sweep ran with no runnable cells.
+				m, err := mergeCells(cells)
+				if err != nil {
+					return nil, err
+				}
+				gr.Merged = m
 			}
-			gr.Merged = merged
 		}
 		out.Groups[g] = gr
 	}

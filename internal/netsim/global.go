@@ -47,13 +47,26 @@ func DefaultGlobalParams() GlobalParams {
 // newGlobalModulator builds the process; disabled params yield a
 // modulator whose factor is always 1.
 func newGlobalModulator(seed uint64, p GlobalParams) *globalModulator {
-	g := &globalModulator{rng: NewSource(seed), params: p}
+	g := &globalModulator{}
+	g.reset(seed, p)
+	return g
+}
+
+// reset reinitializes the process in place to exactly the state
+// newGlobalModulator(seed, p) would construct, reusing the RNG.
+func (g *globalModulator) reset(seed uint64, p GlobalParams) {
+	if g.rng == nil {
+		g.rng = NewSource(seed)
+	} else {
+		g.rng.Seed(seed)
+	}
+	g.params = p
+	g.now, g.active, g.boost, g.episodes = 0, false, 0, 0
 	if p.EpisodeEvery > 0 {
 		g.nextFlip = Time(g.rng.Exp(float64(p.EpisodeEvery)))
 	} else {
 		g.nextFlip = never
 	}
-	return g
 }
 
 // factorAt returns the entry-rate multiplier at time t, advancing the

@@ -18,14 +18,20 @@ import (
 // concurrent use; campaign drivers issue sends sequentially in virtual
 // time order.
 type Network struct {
-	tb      *topo.Testbed
-	prof    *Profile
-	seed    uint64
-	global  *globalModulator
+	tb     *topo.Testbed
+	prof   *Profile
+	seed   uint64
+	global *globalModulator
+	// slab backs every component; Reset rebuilds components in place so
+	// successive campaigns through one Network allocate nothing.
+	slab    []Component
 	access  []*Component   // one per host
 	bb      [][]*Component // upper-triangular: bb[i][j] for i<j
 	all     []*Component
 	nextPkt uint64
+	// defProf caches the DefaultProfile built for a nil-profile Reset,
+	// so profile-less cell turnover does not rebuild it per cell.
+	defProf *Profile
 	// base[i*n+j] is the precomputed direct-path propagation floor
 	// (geographic one-way delay × route inflation) for the pair, the
 	// per-hop constant every simulated packet adds. It is derived once
@@ -46,18 +52,49 @@ type Network struct {
 // New builds a simulated network over the testbed with the given profile
 // and seed. A nil profile means DefaultProfile.
 func New(tb *topo.Testbed, prof *Profile, seed uint64) *Network {
+	nw := &Network{}
+	nw.Reset(tb, prof, seed)
+	return nw
+}
+
+// Reset reinitializes the network in place for a new campaign over the
+// given testbed, profile, and seed, reusing the component slab and every
+// derived buffer when the mesh size matches. The resulting state — every
+// component trajectory, inflation factor, and packet-key stream — is
+// identical to what New would build, so a campaign run through a reused
+// Network is bit-for-bit the same as one run through a fresh one.
+func (nw *Network) Reset(tb *topo.Testbed, prof *Profile, seed uint64) {
 	if prof == nil {
-		prof = DefaultProfile()
+		if nw.defProf == nil {
+			nw.defProf = DefaultProfile()
+		}
+		prof = nw.defProf
 	}
 	n := tb.N()
-	nw := &Network{tb: tb, prof: prof, seed: seed}
-	nw.global = newGlobalModulator(combine(seed, 0x61, 0x0BA1), prof.Global)
-	// All components live in one slab: a network is built per sweep
-	// cell, so construction cost (and allocator pressure) scales with
-	// the grid.
-	slab := make([]Component, n+n*(n-1)/2)
-	nw.all = make([]*Component, 0, len(slab))
-	nw.access = make([]*Component, n)
+	sameShape := nw.tb != nil && nw.tb.N() == n
+	nw.tb, nw.prof, nw.seed = tb, prof, seed
+	nw.nextPkt = 0
+	if nw.global == nil {
+		nw.global = &globalModulator{}
+	}
+	nw.global.reset(combine(seed, 0x61, 0x0BA1), prof.Global)
+	// All components live in one slab: a network is built (or reset)
+	// per sweep cell, so construction cost — and, on the fresh path,
+	// allocator pressure — scales with the grid.
+	if !sameShape {
+		nw.slab = make([]Component, n+n*(n-1)/2)
+		nw.all = make([]*Component, 0, len(nw.slab))
+		nw.access = make([]*Component, n)
+		nw.bb = make([][]*Component, n)
+		nw.inflate = make([][]float64, n)
+		for i := 0; i < n; i++ {
+			nw.bb[i] = make([]*Component, n)
+			nw.inflate[i] = make([]float64, n)
+		}
+		nw.base = make([]Time, n*n)
+	} else {
+		nw.all = nw.all[:0]
+	}
 	var id ComponentID
 	for i := 0; i < n; i++ {
 		params, ok := prof.AccessParams[tb.Host(i).Access]
@@ -65,24 +102,19 @@ func New(tb *topo.Testbed, prof *Profile, seed uint64) *Network {
 			panic(fmt.Sprintf("netsim: no params for access class %v",
 				tb.Host(i).Access))
 		}
-		c := &slab[id]
+		c := &nw.slab[id]
 		c.init(id, combine(seed, 0xACCE55, uint64(i)),
 			ClassAccess, prof, params, nw.global)
 		nw.access[i] = c
 		nw.all = append(nw.all, c)
 		id++
 	}
-	nw.bb = make([][]*Component, n)
-	nw.inflate = make([][]float64, n)
-	for i := 0; i < n; i++ {
-		nw.bb[i] = make([]*Component, n)
-		nw.inflate[i] = make([]float64, n)
-	}
-	infRng := NewSource(combine(seed, 0x1F1A7E, 0))
+	var infRng Source
+	infRng.Seed(combine(seed, 0x1F1A7E, 0))
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			params := nw.backboneParams(i, j)
-			c := &slab[id]
+			c := &nw.slab[id]
 			c.init(id, combine(seed, 0xBBBB, uint64(i)<<16|uint64(j)),
 				ClassBackbone, prof, params, nw.global)
 			nw.bb[i][j] = c
@@ -90,12 +122,11 @@ func New(tb *topo.Testbed, prof *Profile, seed uint64) *Network {
 			nw.all = append(nw.all, c)
 			id++
 
-			f := drawInflation(infRng)
+			f := drawInflation(&infRng)
 			nw.inflate[i][j] = f
 			nw.inflate[j][i] = f
 		}
 	}
-	nw.base = make([]Time, n*n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i != j {
@@ -103,7 +134,6 @@ func New(tb *topo.Testbed, prof *Profile, seed uint64) *Network {
 			}
 		}
 	}
-	return nw
 }
 
 // drawInflation samples a route-inflation factor: most pairs take nearly

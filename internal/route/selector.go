@@ -46,6 +46,11 @@ func (c Choice) String() string {
 type Selector struct {
 	n   int
 	est []LinkEstimate // est[src*n+dst]; diagonal entries are unused
+	// rings is the one backing array behind every loss window; window
+	// is the per-link ring length. Both are kept so Reset can re-carve
+	// (or re-zero) the rings without reallocating.
+	rings  []bool
+	window int
 	// fallbackLat is the latency charged to links with no samples yet,
 	// so that unmeasured paths are not spuriously attractive.
 	fallbackLat time.Duration
@@ -95,37 +100,69 @@ func NewSelectorWindow(n, window int) *Selector {
 	if n < 2 {
 		panic("route: selector needs at least 2 nodes")
 	}
+	s := &Selector{n: n}
+	s.Reset(window)
+	return s
+}
+
+// Reset returns the selector to the state NewSelectorWindow(s.N(),
+// window) would construct — empty estimates, default fallback latency,
+// hysteresis disabled — reusing the estimate slab, ring storage, and
+// snapshot scratch. Only a window-size change reallocates (the rings);
+// everything else is re-zeroed in place, so a campaign driver can run
+// successive cells through one selector without allocating.
+func (s *Selector) Reset(window int) {
 	if window <= 0 {
 		window = DefaultLossWindow
 	}
-	s := &Selector{n: n, fallbackLat: 500 * time.Millisecond}
-	s.est = make([]LinkEstimate, n*n)
+	n := s.n
+	s.fallbackLat = 500 * time.Millisecond
+	s.hysteresis = 0
+	if s.est == nil {
+		s.est = make([]LinkEstimate, n*n)
+		s.mLoss = make([]float64, n*n)
+		s.mLat = make([]time.Duration, n*n)
+		s.mDead = make([]bool, n*n)
+		s.mLatAdj = make([]time.Duration, n*n)
+		for i := 0; i < n; i++ {
+			// refreshMetrics never touches the diagonal; pin the
+			// sentinels once (see latDead).
+			s.mLoss[i*n+i] = math.Inf(1)
+			s.mLatAdj[i*n+i] = latDead
+		}
+		s.colLoss = make([]float64, n)
+		s.colLat = make([]time.Duration, n)
+		s.colLatAdj = make([]time.Duration, n)
+	} else {
+		// The metrics scratch needs no re-zeroing: refreshMetrics fully
+		// rewrites every off-diagonal entry before any read, and the
+		// diagonal sentinels are never overwritten. The estimates do:
+		// clear, then re-init below, reproduces the fresh zero state.
+		clear(s.est)
+	}
 	// One backing array for every ring keeps the n² windows dense in
-	// memory and construction at O(1) allocations.
-	rings := make([]bool, n*n*window)
+	// memory and (re)construction at O(1) allocations.
+	if len(s.rings) != n*n*window {
+		s.rings = make([]bool, n*n*window)
+	} else {
+		clear(s.rings)
+	}
+	s.window = window
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue
 			}
 			idx := i*n + j
-			s.est[idx].init(rings[idx*window : (idx+1)*window])
+			s.est[idx].init(s.rings[idx*window : (idx+1)*window])
 		}
 	}
-	s.mLoss = make([]float64, n*n)
-	s.mLat = make([]time.Duration, n*n)
-	s.mDead = make([]bool, n*n)
-	s.mLatAdj = make([]time.Duration, n*n)
-	for i := 0; i < n; i++ {
-		// refreshMetrics never touches the diagonal; pin the sentinels
-		// once (see latDead).
-		s.mLoss[i*n+i] = math.Inf(1)
-		s.mLatAdj[i*n+i] = latDead
+	// Hysteresis state buffers survive for reuse but must look freshly
+	// allocated (-1 = "no held path") if SetHysteresis re-enables them.
+	for i := range s.prevLoss {
+		s.prevLoss[i] = -1
+		s.prevLat[i] = -1
 	}
-	s.colLoss = make([]float64, n)
-	s.colLat = make([]time.Duration, n)
-	s.colLatAdj = make([]time.Duration, n)
-	return s
 }
 
 // N returns the mesh size.
