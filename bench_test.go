@@ -374,6 +374,28 @@ func BenchmarkSweepTurnover(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
 }
 
+// BenchmarkWorkloadCell is BenchmarkSweepTurnover with the multi-path +
+// FEC application workload enabled: every cell additionally seeds the
+// stream table, fires periodic frame events, queries k-disjoint paths,
+// and accounts both delivery variants. Steady-state allocs/op must stay
+// ~0 (pinned by TestArenaWorkloadSecondCellZeroAllocs); the cells/sec
+// delta against BenchmarkSweepTurnover is the workload layer's cost.
+func BenchmarkWorkloadCell(b *testing.B) {
+	arena := core.NewArena()
+	cfg := core.DefaultConfig(core.RONnarrow, benchDays)
+	cfg.Workload = core.DefaultWorkloadConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		if _, err := arena.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
+}
+
 // --- Ablation benchmarks (design choices called out in DESIGN.md §5) ---
 
 // BenchmarkAblationLossWindow varies the paper's 100-probe selection

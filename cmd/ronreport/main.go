@@ -200,6 +200,12 @@ func printTables(agg *analysis.Aggregator) {
 	agg.Flush()
 	fmt.Println(analysis.RenderTable5(agg.Table5(), ""))
 	fmt.Println(analysis.RenderTable6(agg.HighLossHours()))
+	// Workload-enabled cells carry delivered-frame accounting in their
+	// snapshots; render it wherever it survived the merge.
+	if ws := agg.Workload(); ws != nil && ws.HasData() {
+		fmt.Println("Workload (delivered application frames)")
+		fmt.Println(analysis.RenderWorkloadTable(ws))
+	}
 }
 
 func splitMethods(s string) []string {

@@ -21,6 +21,18 @@
 //	ronsim -sweep -probeinterval 0,30s -losswindow 0,50 -out results/
 //	ronsim -sweep -tablerefresh 0,1m -replicas 4 -out results/
 //
+// -workload runs a multi-path + FEC application workload alongside the
+// probes: streams emit periodic frames whose FEC shards stripe across
+// the k best link-disjoint overlay paths, and each report grows a
+// delivered-frame table comparing multi-path+FEC against best-path
+// delivery. The workload axes (-redundancy, -paths, -streams) sweep
+// its shape, and any non-zero value of theirs enables the workload for
+// that cell on its own:
+//
+//	ronsim -workload -dataset ron2003 -days 1
+//	ronsim -sweep -workload -redundancy 0.25,1 -replicas 4 -out results/
+//	ronsim -sweep -streams 4 -paths 1,2,3 -days 0.5
+//
 // Sweeps are distributable and resumable. -cells restricts a run to a
 // shard of the grid (names, globs, indices, or index ranges); because
 // per-cell seeds derive from grid coordinates, disjoint shards run on
@@ -68,6 +80,8 @@ func main() {
 		outDir  = flag.String("out", "", "directory for figure data files (omit to skip)")
 		all     = flag.Bool("all", false, "run all three datasets plus the Figure 6 model")
 		traceTo = flag.String("trace", "", "write §4.1 probe trace records to this file (sweep mode: directory of per-cell traces); analyze with ronreport")
+
+		workload = flag.Bool("workload", false, "run the multi-path + FEC application workload alongside probing (default streams/FEC shape; refine with -redundancy, -paths, -streams)")
 
 		sweep     = flag.Bool("sweep", false, "run a multi-campaign sweep over a worker pool and merge replicas")
 		replicas  = flag.Int("replicas", 1, "sweep: seed-varied replicates per grid point")
@@ -138,6 +152,7 @@ func main() {
 			lossScale: *lossScale,
 			edgeShare: *edgeShare,
 			axisOpts:  axisOpts,
+			workload:  *workload,
 			cells:     *cells,
 			resume:    *resume || *extend,
 			outDir:    *outDir,
@@ -150,7 +165,7 @@ func main() {
 
 	if *all {
 		for _, d := range allDatasets {
-			if err := runDataset(d, *days, *seed, *outDir, ""); err != nil {
+			if err := runDataset(d, *days, *seed, *outDir, "", *workload); err != nil {
 				fatal(err)
 			}
 		}
@@ -161,7 +176,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := runDataset(d, *days, *seed, *outDir, *traceTo); err != nil {
+	if err := runDataset(d, *days, *seed, *outDir, *traceTo, *workload); err != nil {
 		fatal(err)
 	}
 	if d == core.RON2003 {
@@ -216,6 +231,7 @@ type sweepFlags struct {
 	// axisOpts carries the registry-derived axis flags (every axis
 	// whose flag departed from its default), already parsed.
 	axisOpts         []experiment.Option
+	workload         bool
 	cells            string
 	resume           bool
 	outDir, traceDir string
@@ -248,6 +264,9 @@ func runSweep(f sweepFlags) error {
 		experiment.Warn(func(format string, args ...any) { fmt.Printf(format, args...) }),
 	}
 	opts = append(opts, f.axisOpts...)
+	if f.workload {
+		opts = append(opts, experiment.Workload(experiment.DefaultWorkloadConfig()))
+	}
 	if f.cells != "" {
 		opts = append(opts, experiment.Shard(f.cells))
 	}
@@ -548,9 +567,12 @@ func manifestTracePath(manifestDir, tracePath string) string {
 	return pathAbs
 }
 
-func runDataset(d core.Dataset, days float64, seed uint64, outDir, traceTo string) error {
+func runDataset(d core.Dataset, days float64, seed uint64, outDir, traceTo string, workload bool) error {
 	cfg := core.DefaultConfig(d, days)
 	cfg.Seed = seed
+	if workload {
+		cfg.Workload = core.DefaultWorkloadConfig()
+	}
 
 	var traceW *trace.Writer
 	if traceTo != "" {
@@ -639,7 +661,16 @@ func writeFigures(dir string, d core.Dataset, res *core.Result) error {
 		analysis.RenderTable5(res.Table5Rows(), res.LatencyLabel())); err != nil {
 		return err
 	}
-	return write("table6.txt", analysis.RenderTable6(res.Agg.HighLossHours()))
+	if err := write("table6.txt", analysis.RenderTable6(res.Agg.HighLossHours())); err != nil {
+		return err
+	}
+	// The workload table only exists for workload-enabled cells; writing
+	// it unconditionally would break byte-identity between workload-free
+	// grids produced before and after this file existed.
+	if ws := res.Agg.Workload(); ws != nil && ws.HasData() {
+		return write("workload.txt", analysis.RenderWorkloadTable(ws))
+	}
+	return nil
 }
 
 // printFigure6 renders the §5.3 design space.

@@ -1,7 +1,8 @@
 // Quickstart: the experiment builder API in one page. Builds a small
 // sweep grid — two hysteresis settings × a custom axis defined right
-// here × two seed replicas — runs it over all cores, and prints each
-// grid point's merged Table 5.
+// here × two seed replicas — runs it over all cores with a multi-path
+// + FEC application workload riding along, and prints each grid
+// point's merged Table 5 and delivered-frame workload table.
 //
 // The custom "gapscale" axis is the point of the demo: a new grid
 // dimension is one Axis implementation plus one Register call. The
@@ -70,6 +71,15 @@ func main() {
 		experiment.Replicas(2),
 		experiment.AxisValues("hysteresis", "0", "0.25"),
 		experiment.AxisValues("gapscale", "1", "2"),
+		// Every cell also runs an application workload: two streams of
+		// periodic frames, FEC-encoded and striped across the two best
+		// link-disjoint overlay paths, with delivered-frame loss and
+		// latency accounted next to the probe tables.
+		experiment.Workload(func() experiment.WorkloadConfig {
+			w := experiment.DefaultWorkloadConfig()
+			w.Streams = 2
+			return w
+		}()),
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -97,5 +107,8 @@ func main() {
 		g := &res.Groups[gi]
 		fmt.Printf("\n=== %s: %d replicas merged ===\n%s", g.Name(), len(g.Cells),
 			analysis.RenderTable5(g.Merged.Table5Rows(), g.Merged.LatencyLabel()))
+		if ws := g.Merged.Agg.Workload(); ws != nil && ws.HasData() {
+			fmt.Printf("%s", analysis.RenderWorkloadTable(ws))
+		}
 	}
 }

@@ -40,6 +40,10 @@ type (
 	ProfileVariant = core.ProfileVariant
 	// Result is one campaign's outcome (tables, figures, counters).
 	Result = core.Result
+	// WorkloadConfig parameterizes the multi-path + FEC application
+	// workload (streams, frame cadence, FEC group shape, path count);
+	// pass it to the Workload option.
+	WorkloadConfig = core.WorkloadConfig
 )
 
 // The datasets, re-exported.
@@ -77,7 +81,15 @@ var (
 	ProbeIntervalAxis = core.ProbeIntervalAxis
 	LossWindowAxis    = core.LossWindowAxis
 	ProfileAxis       = core.ProfileAxis
+	RedundancyAxis    = core.RedundancyAxis
+	PathCountAxis     = core.PathCountAxis
+	StreamsAxis       = core.StreamsAxis
 )
+
+// DefaultWorkloadConfig is the workload configuration the workload
+// axes enable when they switch a cell on: a small FEC group over two
+// disjoint paths. Use it as the base for the Workload option.
+func DefaultWorkloadConfig() WorkloadConfig { return core.DefaultWorkloadConfig() }
 
 // RegisterAxisFlags derives one CLI flag per registered axis (those
 // with Usage set) on fs — flag name, default, and help text all come

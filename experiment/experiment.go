@@ -349,6 +349,23 @@ func Output(dir string) Option {
 	}
 }
 
+// Workload runs a multi-path + FEC application workload in every cell:
+// the configured streams emit periodic frames, each frame's FEC group
+// is striped across the k best link-disjoint overlay paths, and
+// delivered-frame loss and latency are accounted per cell next to the
+// probe metrics (rendered as the report's workload table). The base
+// configuration applies before grid axes, so workload axes
+// ("redundancy", "paths", "streams") refine it per cell.
+func Workload(w WorkloadConfig) Option {
+	return func(e *Experiment) error {
+		if err := w.Validate(); err != nil {
+			return err
+		}
+		e.spec.Workload = &w
+		return nil
+	}
+}
+
 // Configure installs a per-cell configuration hook, applied serially
 // at expansion after the dataset defaults, axis values, and seed.
 func Configure(fn func(core.Cell, *core.Config)) Option {

@@ -1,0 +1,52 @@
+package workload_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/experiment/workload"
+)
+
+// Protect a 12-byte frame with a (4+2, 4) code, lose two shards to a
+// burst, reconstruct, and ask the cost model whether that 1.5x parity
+// overhead was the cheap way to buy a 30% loss improvement.
+func Example() {
+	code, err := workload.NewCode(4, 2)
+	if err != nil {
+		panic(err)
+	}
+	data := [][]byte{
+		[]byte("the"), []byte("ron"), []byte("ove"), []byte("rly"),
+	}
+	shards, err := code.Encode(data)
+	if err != nil {
+		panic(err)
+	}
+
+	// Stagger the parity behind the data burst.
+	sched, err := workload.DataFirst(4, 2, 40*time.Millisecond)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("offsets:", sched.Offsets)
+
+	// A burst erases one data and one parity shard; any 4 of the 6
+	// survivors still reconstruct the frame.
+	shards[1], shards[5] = nil, nil
+	if err := code.Reconstruct(shards); err != nil {
+		panic(err)
+	}
+	fmt.Printf("frame: %s%s%s%s\n", shards[0], shards[1], shards[2], shards[3])
+
+	// Was parity the right way to buy a 30% loss improvement here?
+	rec, err := workload.Defaults().Recommend(0.30)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("recommended:", rec)
+
+	// Output:
+	// offsets: [0s 0s 0s 0s 20ms 40ms]
+	// frame: theronoverly
+	// recommended: redundant
+}

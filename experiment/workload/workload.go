@@ -1,0 +1,115 @@
+// Package workload is the public face of the building blocks behind
+// the experiment package's multi-path + FEC application workload: the
+// systematic Reed–Solomon erasure code and shard-transmission
+// schedules that protect each application frame, and the §5.3 cost
+// model that decides when redundant transmission beats reactive
+// path selection.
+//
+// The experiment package drives these for you inside a sweep (see
+// experiment.Workload and the "redundancy"/"paths"/"streams" axes);
+// import this package when you want the same primitives standalone —
+// encoding your own shard groups, sizing a parity budget against a
+// loss-persistence profile, or cross-checking a measured improvement
+// against the cost model's recommendation.
+//
+// A frame's life under the workload:
+//
+//  1. Split the frame into k equal data shards and extend them with m
+//     parity shards: NewCode(k, m) then Code.Encode.
+//  2. Spread the n = k+m shards over time (DataFirst, EvenSpread) and
+//     across the k best link-disjoint overlay paths.
+//  3. The receiver reconstructs the frame from any k of the n shards
+//     (Code.Reconstruct); fewer than k is a delivered-frame loss.
+//
+// The cost model (Params, Recommend) then answers whether that parity
+// overhead was the cheap way to buy the measured loss improvement, or
+// whether probe-driven single-path rerouting would have done.
+package workload
+
+import (
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/fec"
+)
+
+// --- erasure coding ---
+
+// Code is a systematic (k+m, k) Reed–Solomon erasure code over
+// GF(2^8): Encode appends m parity shards to k data shards, and
+// Reconstruct recovers the data from any k survivors.
+type Code = fec.Code
+
+// Schedule assigns a transmission offset to each shard of a group,
+// trading delivery latency against burst-loss decorrelation.
+type Schedule = fec.Schedule
+
+// NewCode builds a code with k data and m parity shards
+// (k >= 1, m >= 0, k+m <= 256).
+func NewCode(k, m int) (*Code, error) { return fec.NewCode(k, m) }
+
+// EvenSpread schedules n shards uniformly across span, the maximal
+// temporal decorrelation for a given delivery-latency budget.
+func EvenSpread(n int, span time.Duration) (Schedule, error) {
+	return fec.EvenSpread(n, span)
+}
+
+// DataFirst schedules the k data shards immediately and staggers the m
+// parity shards across span: zero added latency on loss-free paths,
+// parity decorrelated from the data burst. This is the schedule the
+// experiment workload uses (over a span matched to the measured
+// outage skew).
+func DataFirst(k, m int, span time.Duration) (Schedule, error) {
+	return fec.DataFirst(k, m, span)
+}
+
+// RequiredSpread inverts a loss-persistence curve: the smallest shard
+// spacing at which the probability a loss episode outlives the gap
+// drops below target.
+func RequiredSpread(persistence func(time.Duration) float64,
+	target float64, limit time.Duration) (time.Duration, bool) {
+	return fec.RequiredSpread(persistence, target, limit)
+}
+
+// Sentinel errors returned by Code.
+var (
+	// ErrShardSize: shards must be non-empty and equally sized.
+	ErrShardSize = fec.ErrShardSize
+	// ErrTooFewShards: fewer than k shards survive; the frame is lost.
+	ErrTooFewShards = fec.ErrTooFewShards
+	// ErrShardCount: the shard slice does not have k (Encode) or k+m
+	// (Reconstruct) entries.
+	ErrShardCount = fec.ErrShardCount
+)
+
+// --- the §5.3 cost model ---
+
+// Params holds the cost model's inputs: overlay size, conditional
+// loss probability, the shared-bottleneck fraction, the best
+// alternate path's improvement, and the link/flow rates.
+type Params = costmodel.Params
+
+// Strategy is the model's recommendation for buying a target loss
+// improvement: reactive rerouting, redundant transmission, or neither.
+type Strategy = costmodel.Strategy
+
+// Point is one (improvement, overhead) sample of the design space.
+type Point = costmodel.Point
+
+// DesignSpace is the sampled overhead-vs-improvement frontier of both
+// strategies.
+type DesignSpace = costmodel.DesignSpace
+
+// The Strategy values.
+const (
+	// StrategyNone: the target improvement is unreachable.
+	StrategyNone = costmodel.StrategyNone
+	// StrategyReactive: probe-based path selection costs less.
+	StrategyReactive = costmodel.StrategyReactive
+	// StrategyRedundant: duplicate/parity transmission costs less.
+	StrategyRedundant = costmodel.StrategyRedundant
+)
+
+// Defaults returns the paper-calibrated cost-model parameters (a
+// 30-node overlay with the RON datasets' measured conditional loss).
+func Defaults() Params { return costmodel.Defaults() }

@@ -108,3 +108,85 @@ func TestGoldenSweepDigests(t *testing.T) {
 		t.Errorf("sweep produced %d groups, golden set has %d", len(res.Groups), len(goldenSweepDigests)-1)
 	}
 }
+
+// goldenWorkloadSweepDigests locks a workload-enabled sweep: a base
+// multi-path + FEC workload on every cell, with the redundancy axis
+// sweeping the parity budget. The hashed artifacts add the rendered
+// workload table to the probe tables, so the lock covers delivered-
+// frame accounting, per-variant CDFs, and replica merging end to end.
+// It is deliberately a separate map from goldenSweepDigests: the
+// workload-free grid's digests predate this layer and must never move.
+//
+// Regenerate (ONLY for an intentional semantic change):
+// GOLDEN_PRINT=1 go test -run TestGoldenWorkloadSweepDigests -v .
+var goldenWorkloadSweepDigests = map[string]string{
+	"grid":             "99215025ca61542b1c5d99c1996aec4c278ba60c92e140bfc78eb9f4d5362d4c",
+	"ronnarrow":        "47e230617e7fbfe1a6c644fd35d7e53170c65d845d8ba80d61916041d1a742a0",
+	"ronnarrow-red0.5": "6a251ac8002610c158bc7e418c623047e493d4da970551987649f0ddf97c453f",
+}
+
+func TestGoldenWorkloadSweepDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: the golden workload sweep runs 8 compressed campaigns")
+	}
+	w := experiment.DefaultWorkloadConfig()
+	w.Streams = 2
+	e, err := experiment.New(
+		experiment.Datasets(experiment.RONnarrow),
+		experiment.Days(0.02),
+		experiment.Seed(42),
+		experiment.Replicas(2),
+		experiment.Workload(w),
+		experiment.AxisValues("redundancy", "0", "0.5"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arts := map[string]string{}
+	grid := ""
+	for _, c := range res.Cells {
+		grid += fmt.Sprintf("%s %d\n", c.Cell.Name(), c.Cell.Seed)
+	}
+	arts["grid"] = grid
+	for gi := range res.Groups {
+		g := &res.Groups[gi]
+		ws := g.Merged.Agg.Workload()
+		if ws == nil || !ws.HasData() {
+			t.Fatalf("group %s: workload-enabled sweep produced no workload stats", g.Name())
+		}
+		arts[g.Name()] = analysis.RenderTable5(g.Merged.Table5Rows(), g.Merged.LatencyLabel()) +
+			analysis.RenderTable6(g.Merged.Agg.HighLossHours()) +
+			analysis.RenderWorkloadTable(ws)
+	}
+
+	keys := make([]string, 0, len(arts))
+	for k := range arts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sum := sha256.Sum256([]byte(arts[k]))
+		got := hex.EncodeToString(sum[:])
+		if os.Getenv("GOLDEN_PRINT") != "" {
+			fmt.Printf("\t%q: %q,\n", k, got)
+			continue
+		}
+		want, ok := goldenWorkloadSweepDigests[k]
+		if !ok {
+			t.Errorf("%s: no golden digest recorded (got %s)", k, got)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: workload sweep output changed\n  got  %s\n  want %s",
+				k, got, want)
+		}
+	}
+	if len(res.Groups) != len(goldenWorkloadSweepDigests)-1 {
+		t.Errorf("sweep produced %d groups, golden set has %d", len(res.Groups), len(goldenWorkloadSweepDigests)-1)
+	}
+}

@@ -79,6 +79,11 @@ type Aggregator struct {
 	// mostly quiescent and loss rates are low").
 	hodSent [][24]int64
 	hodLost [][24]int64
+
+	// wl holds the application-workload metric family (workload.go);
+	// nil until a workload campaign first feeds it, so probe-only
+	// aggregators pay nothing.
+	wl *WorkloadStats
 }
 
 // Table6Thresholds are the loss-percentage thresholds of Table 6.
@@ -146,6 +151,9 @@ func (a *Aggregator) Reset() {
 	}
 	clear(a.hourPeriods)
 	a.hourMaxRate = 0
+	if a.wl != nil {
+		a.wl.reset()
+	}
 }
 
 // Methods returns the method names.
@@ -354,6 +362,11 @@ func (a *Aggregator) Merge(other *Aggregator) error {
 	}
 	if other.hourMaxRate > a.hourMaxRate {
 		a.hourMaxRate = other.hourMaxRate
+	}
+	if other.wl != nil {
+		if err := a.ensureWorkload().merge(other.wl); err != nil {
+			return err
+		}
 	}
 	return nil
 }

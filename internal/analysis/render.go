@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/costmodel"
 )
 
 // RenderTable5 formats method totals like the paper's Table 5: columns
@@ -58,6 +60,48 @@ func periodsSummary(periods []int64) int64 {
 		}
 	}
 	return max
+}
+
+// RenderWorkloadTable formats the best-path-vs-multi-path comparison:
+// one row per delivery scheme with frame loss, shard loss, and
+// delivered-frame latency (mean and p95), and a footer cross-checking
+// the measured multi-path improvement against the §5.3 cost model's
+// recommendation for that target.
+func RenderWorkloadTable(w *WorkloadStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FEC group k=%d m=%d over %d disjoint path(s)\n",
+		w.DataShards, w.ParityShards, w.Paths)
+	fmt.Fprintf(&b, "%-14s %9s %7s %7s %8s %8s %8s\n",
+		"Scheme", "frames", "loss%", "shard%", "lat", "p95lat", "strm50%")
+	for i, name := range [...]string{"best-path", "multi-path+FEC"} {
+		v := w.Variant(i)
+		fmt.Fprintf(&b, "%-14s %9d %7.2f %7.2f %8.2f %8.2f %8.2f\n",
+			name, v.FramesSent, v.FrameLossPct(), v.ShardLossPct(),
+			float64(v.MeanLatency())/float64(time.Millisecond),
+			v.LatencyCDF().Quantile(0.95),
+			v.StreamLossCDF().Quantile(0.5))
+	}
+	bp, mp := w.Variant(WorkloadBestPath), w.Variant(WorkloadMultiPath)
+	improvement := 0.0
+	if bpLoss := bp.FrameLossPct(); bpLoss > 0 {
+		improvement = 1 - mp.FrameLossPct()/bpLoss
+	}
+	// Recommend wants a target in [0, 1); clamp the measured improvement
+	// into its domain (a negative value means multi-path lost outright).
+	target := improvement
+	if target < 0 {
+		target = 0
+	}
+	if target >= 1 {
+		target = 0.999
+	}
+	strategy := "n/a"
+	if rec, err := costmodel.Defaults().Recommend(target); err == nil {
+		strategy = rec.String()
+	}
+	fmt.Fprintf(&b, "(reconstruct failures: %d; FEC overhead %.2fx; multi-path avoided %.1f%% of best-path frame loss; §5.3 model recommends: %s)\n",
+		mp.ReconstructFailures, w.Overhead(), 100*improvement, strategy)
+	return b.String()
 }
 
 // RenderCDF formats a CDF series as two-column text (x, fraction),

@@ -18,11 +18,21 @@ import (
 //	    run count then (f64 value, i64 multiplicity) per run, matching
 //	    the CDF's in-memory representation. O(distinct rates) on disk.
 //	    The reader still restores v1 payloads.
+//	v3: the v2 layout followed by a workload section (FEC/path shape,
+//	    per-variant frame counters, latency and per-stream loss runs).
+//	    Written only when the aggregator holds workload data, so
+//	    probe-only campaigns keep emitting byte-identical v2 payloads.
 const aggSnapshotVersion = 2
 
+// aggSnapshotVersionWorkload marks payloads carrying the trailing
+// workload section.
+const aggSnapshotVersionWorkload = 3
+
 // SnapshotCodecVersion is the aggregator codec version MarshalBinary
-// currently writes, exported so containers embedding the payload can
-// record and gate on it (see internal/core's loss-window guard).
+// writes for probe-only campaigns (workload-bearing aggregators emit
+// aggSnapshotVersionWorkload instead), exported so containers embedding
+// the payload can record and gate on it (see internal/core's
+// loss-window guard).
 const SnapshotCodecVersion = aggSnapshotVersion
 
 // binWriter accumulates the little-endian snapshot payload.
@@ -110,8 +120,13 @@ func (a *Aggregator) MarshalBinary() ([]byte, error) {
 // allocating a payload-sized temporary per finished cell.
 func (a *Aggregator) AppendBinary(buf []byte) ([]byte, error) {
 	a.Flush()
+	hasWL := a.wl != nil && a.wl.HasData()
 	w := &binWriter{buf: buf}
-	w.u8(aggSnapshotVersion)
+	if hasWL {
+		w.u8(aggSnapshotVersionWorkload)
+	} else {
+		w.u8(aggSnapshotVersion)
+	}
 	w.u32(uint32(len(a.methods)))
 	w.u32(uint32(a.nHosts))
 	for _, m := range a.methods {
@@ -159,7 +174,54 @@ func (a *Aggregator) AppendBinary(buf []byte) ([]byte, error) {
 			w.i64(a.hodLost[m][h])
 		}
 	}
+	if hasWL {
+		w.u32(uint32(a.wl.DataShards))
+		w.u32(uint32(a.wl.ParityShards))
+		w.u32(uint32(a.wl.Paths))
+		for i := range a.wl.variants {
+			v := &a.wl.variants[i]
+			w.i64(v.FramesSent)
+			w.i64(v.FramesDelivered)
+			w.i64(v.ShardsSent)
+			w.i64(v.ShardsDelivered)
+			w.i64(v.ReconstructFailures)
+			w.f64(v.latSumNS)
+			w.i64(v.latN)
+			w.cdfRuns(&v.latCDF)
+			w.cdfRuns(&v.lossCDF)
+		}
+	}
 	return w.buf, nil
+}
+
+// cdfRuns writes a CDF in the same run-length form as the v2 window
+// pools: u32 run count, then (f64 value, i64 multiplicity) per run.
+func (w *binWriter) cdfRuns(c *CDF) {
+	w.u32(uint32(c.Distinct()))
+	c.Runs(func(v float64, count int64) {
+		w.f64(v)
+		w.i64(count)
+	})
+}
+
+// readCDFRuns restores a run-length CDF section written by cdfRuns.
+func readCDFRuns(r *binReader, c *CDF) error {
+	n := int(r.u32())
+	if r.err != nil {
+		return r.err
+	}
+	if n < 0 || n*16 > r.remaining() {
+		return fmt.Errorf("analysis: aggregator snapshot claims %d CDF runs with %d bytes left", n, r.remaining())
+	}
+	for i := 0; i < n; i++ {
+		v := r.f64()
+		count := r.i64()
+		if count <= 0 {
+			return fmt.Errorf("analysis: aggregator snapshot CDF run %d has non-positive count %d", i, count)
+		}
+		c.AddWeighted(v, count)
+	}
+	return r.err
 }
 
 // UnmarshalAggregator rebuilds an aggregator from MarshalBinary output.
@@ -169,9 +231,10 @@ func (a *Aggregator) AppendBinary(buf []byte) ([]byte, error) {
 func UnmarshalAggregator(data []byte) (*Aggregator, error) {
 	r := &binReader{buf: data}
 	version := r.u8()
-	if r.err == nil && version != 1 && version != aggSnapshotVersion {
+	if r.err == nil && version != 1 && version != aggSnapshotVersion &&
+		version != aggSnapshotVersionWorkload {
 		return nil, fmt.Errorf("analysis: unsupported aggregator snapshot version %d (want 1..%d)",
-			version, aggSnapshotVersion)
+			version, aggSnapshotVersionWorkload)
 	}
 	nm := int(r.u32())
 	nHosts := int(r.u32())
@@ -258,6 +321,28 @@ func UnmarshalAggregator(data []byte) (*Aggregator, error) {
 		}
 		for h := 0; h < 24; h++ {
 			a.hodLost[m][h] = r.i64()
+		}
+	}
+	if version >= aggSnapshotVersionWorkload {
+		wl := a.ensureWorkload()
+		wl.DataShards = int(r.u32())
+		wl.ParityShards = int(r.u32())
+		wl.Paths = int(r.u32())
+		for i := range wl.variants {
+			v := &wl.variants[i]
+			v.FramesSent = r.i64()
+			v.FramesDelivered = r.i64()
+			v.ShardsSent = r.i64()
+			v.ShardsDelivered = r.i64()
+			v.ReconstructFailures = r.i64()
+			v.latSumNS = r.f64()
+			v.latN = r.i64()
+			if err := readCDFRuns(r, &v.latCDF); err != nil {
+				return nil, err
+			}
+			if err := readCDFRuns(r, &v.lossCDF); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if r.err != nil {

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+)
+
+// Workload delivery variants: every application frame is measured under
+// both schemes, so the comparison the paper's §5 asks for — best-path
+// versus multi-path with redundancy — comes out of one campaign.
+const (
+	// WorkloadBestPath delivers a frame's k data shards on the single
+	// lowest-loss path; delivery needs all of them.
+	WorkloadBestPath = iota
+	// WorkloadMultiPath stripes k+m FEC shards across link-disjoint
+	// paths; any k arriving shards reconstruct the frame.
+	WorkloadMultiPath
+	workloadVariants
+)
+
+// WorkloadVariantStats accumulates delivered-frame statistics for one
+// delivery scheme.
+type WorkloadVariantStats struct {
+	// FramesSent/FramesDelivered count application frames; a frame is
+	// delivered when enough shards arrived to reconstruct it.
+	FramesSent      int64
+	FramesDelivered int64
+	// ShardsSent/ShardsDelivered count the underlying shard packets.
+	ShardsSent      int64
+	ShardsDelivered int64
+	// ReconstructFailures counts multi-path frames where fewer than k
+	// shards survived — the erasures exceeded the code's parity.
+	ReconstructFailures int64
+
+	latSumNS float64
+	latN     int64
+	// latCDF pools delivered-frame latencies (whole milliseconds; the
+	// quantization keeps run-length storage tiny across a campaign).
+	latCDF CDF
+	// lossCDF pools per-stream frame-loss percentages, fed once per
+	// stream at campaign end.
+	lossCDF CDF
+}
+
+// FrameLossPct returns the variant's frame loss percentage.
+func (v *WorkloadVariantStats) FrameLossPct() float64 {
+	if v.FramesSent == 0 {
+		return 0
+	}
+	return 100 * float64(v.FramesSent-v.FramesDelivered) / float64(v.FramesSent)
+}
+
+// ShardLossPct returns the underlying shard (packet) loss percentage.
+func (v *WorkloadVariantStats) ShardLossPct() float64 {
+	if v.ShardsSent == 0 {
+		return 0
+	}
+	return 100 * float64(v.ShardsSent-v.ShardsDelivered) / float64(v.ShardsSent)
+}
+
+// MeanLatency returns the mean delivered-frame latency.
+func (v *WorkloadVariantStats) MeanLatency() time.Duration {
+	if v.latN == 0 {
+		return 0
+	}
+	return time.Duration(v.latSumNS / float64(v.latN))
+}
+
+// LatencyCDF returns the delivered-frame latency distribution in whole
+// milliseconds.
+func (v *WorkloadVariantStats) LatencyCDF() *CDF { return &v.latCDF }
+
+// StreamLossCDF returns the per-stream frame-loss distribution in
+// percent.
+func (v *WorkloadVariantStats) StreamLossCDF() *CDF { return &v.lossCDF }
+
+func (v *WorkloadVariantStats) reset() {
+	v.latCDF.Reset()
+	v.lossCDF.Reset()
+	*v = WorkloadVariantStats{latCDF: v.latCDF, lossCDF: v.lossCDF}
+}
+
+func (v *WorkloadVariantStats) merge(o *WorkloadVariantStats) {
+	v.FramesSent += o.FramesSent
+	v.FramesDelivered += o.FramesDelivered
+	v.ShardsSent += o.ShardsSent
+	v.ShardsDelivered += o.ShardsDelivered
+	v.ReconstructFailures += o.ReconstructFailures
+	v.latSumNS += o.latSumNS
+	v.latN += o.latN
+	v.latCDF.Merge(&o.latCDF)
+	v.lossCDF.Merge(&o.lossCDF)
+}
+
+// WorkloadStats is the application-workload metric family: per-variant
+// delivered-frame counters and distributions plus the FEC/path shape
+// they were measured under. It hangs off an Aggregator lazily, so
+// campaigns without a workload pay nothing.
+type WorkloadStats struct {
+	// DataShards (k), ParityShards (m), and Paths describe the measured
+	// configuration (recorded at campaign seeding).
+	DataShards   int
+	ParityShards int
+	Paths        int
+
+	variants [workloadVariants]WorkloadVariantStats
+}
+
+// Variant returns the stats for one delivery scheme (WorkloadBestPath
+// or WorkloadMultiPath).
+func (w *WorkloadStats) Variant(i int) *WorkloadVariantStats { return &w.variants[i] }
+
+// HasData reports whether any frames were recorded.
+func (w *WorkloadStats) HasData() bool {
+	for i := range w.variants {
+		if w.variants[i].FramesSent > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Overhead returns the FEC bandwidth overhead factor (k+m)/k.
+func (w *WorkloadStats) Overhead() float64 {
+	if w.DataShards == 0 {
+		return 1
+	}
+	return float64(w.DataShards+w.ParityShards) / float64(w.DataShards)
+}
+
+// reset zeroes the stats in place, retaining CDF storage (the arena's
+// Reset contract).
+func (w *WorkloadStats) reset() {
+	w.DataShards, w.ParityShards, w.Paths = 0, 0, 0
+	for i := range w.variants {
+		w.variants[i].reset()
+	}
+}
+
+// merge folds o into w. Metadata must agree when both sides carry data
+// — merged cells of one grid point share a workload shape by
+// construction.
+func (w *WorkloadStats) merge(o *WorkloadStats) error {
+	if o.DataShards != 0 || o.ParityShards != 0 || o.Paths != 0 {
+		if w.DataShards == 0 && w.ParityShards == 0 && w.Paths == 0 {
+			w.DataShards, w.ParityShards, w.Paths = o.DataShards, o.ParityShards, o.Paths
+		} else if w.DataShards != o.DataShards || w.ParityShards != o.ParityShards || w.Paths != o.Paths {
+			return fmt.Errorf("analysis: workload merge shape mismatch: k=%d/m=%d/paths=%d vs k=%d/m=%d/paths=%d",
+				w.DataShards, w.ParityShards, w.Paths,
+				o.DataShards, o.ParityShards, o.Paths)
+		}
+	}
+	for i := range w.variants {
+		w.variants[i].merge(&o.variants[i])
+	}
+	return nil
+}
+
+// ensureWorkload lazily attaches the workload stats (one allocation per
+// aggregator lifetime; Reset clears it in place).
+func (a *Aggregator) ensureWorkload() *WorkloadStats {
+	if a.wl == nil {
+		a.wl = &WorkloadStats{}
+	}
+	return a.wl
+}
+
+// Workload returns the aggregator's workload stats, or nil when no
+// workload ever fed this aggregator. Callers gate rendering on
+// Workload() != nil && Workload().HasData().
+func (a *Aggregator) Workload() *WorkloadStats { return a.wl }
+
+// SetWorkloadMeta records the workload shape (FEC group and path count)
+// the campaign measures under.
+func (a *Aggregator) SetWorkloadMeta(dataShards, parityShards, paths int) {
+	w := a.ensureWorkload()
+	w.DataShards, w.ParityShards, w.Paths = dataShards, parityShards, paths
+}
+
+// WorkloadFrame folds one application frame's outcome into a variant:
+// shard counts always accumulate; delivered frames contribute their
+// reconstruction latency, undelivered multi-path frames count as
+// reconstruction failures.
+func (a *Aggregator) WorkloadFrame(variant int, delivered bool,
+	shardsSent, shardsDelivered int, lat time.Duration) {
+	v := &a.ensureWorkload().variants[variant]
+	v.FramesSent++
+	v.ShardsSent += int64(shardsSent)
+	v.ShardsDelivered += int64(shardsDelivered)
+	if !delivered {
+		if variant == WorkloadMultiPath {
+			v.ReconstructFailures++
+		}
+		return
+	}
+	v.FramesDelivered++
+	v.latSumNS += float64(lat)
+	v.latN++
+	v.latCDF.Add(float64(lat / time.Millisecond))
+}
+
+// WorkloadStreamLoss adds one stream's whole-campaign frame-loss
+// percentage to a variant's per-stream distribution.
+func (a *Aggregator) WorkloadStreamLoss(variant int, pct float64) {
+	a.ensureWorkload().variants[variant].lossCDF.Add(pct)
+}

@@ -161,6 +161,7 @@ func (a *Arena) run(cfg Config, retain bool) (*Result, error) {
 
 	c.seed()
 	c.loop()
+	c.finishWorkload()
 	agg.Flush()
 	return res, nil
 }

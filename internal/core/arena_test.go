@@ -65,6 +65,56 @@ func TestArenaSecondCellZeroAllocsAcrossSeeds(t *testing.T) {
 	}
 }
 
+// TestArenaWorkloadSecondCellZeroAllocs extends the zero-alloc contract
+// to workload-enabled cells: the workload slab (stream table, shard
+// offsets, path/latency scratch, cached FEC code) must reinitialize in
+// place like every other arena slab.
+func TestArenaWorkloadSecondCellZeroAllocs(t *testing.T) {
+	a := NewArena()
+	cfg := DefaultConfig(RONnarrow, 0.01)
+	cfg.Seed = 7
+	cfg.Workload = DefaultWorkloadConfig()
+	for i := 0; i < 2; i++ {
+		if _, err := a.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := a.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("reused arena workload cell run allocated %v objects, want 0", allocs)
+	}
+}
+
+// TestArenaWorkloadToggleMatchesFreshRun interleaves workload-enabled
+// and workload-free cells through one arena and cross-checks each
+// against a fresh standalone Run: workload state must neither leak into
+// later plain cells (which would break sweep byte-identity) nor carry
+// stale streams into the next workload cell.
+func TestArenaWorkloadToggleMatchesFreshRun(t *testing.T) {
+	arena := NewArena()
+	plain := DefaultConfig(RONnarrow, 0.01)
+	plain.Seed = 11
+	loaded := plain
+	loaded.Workload = DefaultWorkloadConfig()
+	loaded.Workload.Streams = 2
+	for i, cfg := range []Config{plain, loaded, plain, loaded} {
+		fresh, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused, err := arena.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("cell %d: workload=%v", i, cfg.Workload.Enabled())
+		equalResults(t, reused, fresh)
+	}
+}
+
 // equalResults compares two campaign results completely: run counters
 // and the full serialized aggregator state (every per-path counter,
 // pooled window sample, high-loss-hour tally, and diurnal bucket,

@@ -68,6 +68,10 @@ type campaign struct {
 	// nodes cycle through the different probe types", §4.1).
 	perNodeMethod []int
 
+	// wl is the application-workload slab (streams, shard schedule,
+	// per-frame scratch); dormant unless cfg.Workload is enabled.
+	wl workloadState
+
 	res *Result
 }
 
@@ -111,6 +115,11 @@ func (c *campaign) seed() {
 	// Start with empty tables (all direct), as a freshly booted RON
 	// would. SnapshotInto honors configured hysteresis.
 	c.sel.SnapshotInto(&c.tables)
+	// Workload seeding comes last so its RNG draws and sequence numbers
+	// extend — never perturb — the probe/measure seeding above.
+	if c.cfg.Workload.Enabled() {
+		c.seedWorkload()
+	}
 }
 
 // measureGap draws the §4.1 inter-probe pause.
@@ -164,6 +173,9 @@ func (c *campaign) loop() {
 			case evMeasure:
 				c.measure(e.t, int(e.a))
 				c.queue.push(event{t: e.t + c.measureGap(), kind: evMeasure, a: e.a})
+			case evWorkloadFrame:
+				c.workloadFrame(e.t, int(e.a))
+				c.queue.push(event{t: e.t + c.wl.interval, kind: evWorkloadFrame, a: e.a})
 			}
 		}
 		qt, qSeq, qOK = c.queue.peek()

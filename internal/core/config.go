@@ -120,6 +120,13 @@ type Config struct {
 	// cmd/ronreport). Records arrive in virtual-time order of the
 	// sends.
 	TraceSink func(trace.Record)
+
+	// Workload configures the application-traffic layer: FEC-protected
+	// periodic frame streams striped across link-disjoint overlay paths,
+	// measured against best-path delivery of the same frames. Disabled
+	// (Streams == 0, the default) campaigns run bit-identically to
+	// pre-workload builds: no extra events, RNG draws, or packet keys.
+	Workload WorkloadConfig
 }
 
 // DefaultConfig returns the paper-faithful configuration for a dataset at
@@ -192,6 +199,9 @@ func (c Config) validate(methods []route.Method) error {
 		if err := m.Validate(); err != nil {
 			return fmt.Errorf("core: %w", err)
 		}
+	}
+	if err := c.Workload.validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -20,6 +20,9 @@ const (
 	evTableRefresh
 	// evMeasure is one §4.1 measurement probe from a node.
 	evMeasure
+	// evWorkloadFrame is one application frame of a workload stream
+	// (a carries the stream index).
+	evWorkloadFrame
 )
 
 // event is one scheduled campaign action. a/b carry kind-specific host

@@ -137,5 +137,9 @@ func (r *Result) Report() string {
 		analysis.RenderTable5(r.Table5Rows(), r.LatencyLabel()))
 	fmt.Fprintf(&b, "Table 6 (hour-long high-loss periods)\n%s",
 		analysis.RenderTable6(r.Agg.HighLossHours()))
+	if ws := r.Agg.Workload(); ws != nil && ws.HasData() {
+		fmt.Fprintf(&b, "\nWorkload (delivered application frames)\n%s",
+			analysis.RenderWorkloadTable(ws))
+	}
 	return b.String()
 }

@@ -46,6 +46,11 @@ type SweepSpec struct {
 	// value list, and any other axis appends after them in the order
 	// given. Nil sweeps a single default-configured point per dataset.
 	Axes []Axis
+	// Workload, when non-nil, is every cell's base application-traffic
+	// configuration, applied before the grid axes so workload axes
+	// (redundancy, paths, streams) refine it per cell. Nil leaves the
+	// workload layer off except where an axis enables it.
+	Workload *WorkloadConfig
 	// Parallel caps concurrently running cells; <=0 means
 	// runtime.GOMAXPROCS(0).
 	Parallel int
@@ -318,6 +323,9 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 				seen[cell.Name()] = struct{}{}
 				cfg := DefaultConfig(d, spec.Days)
 				cfg.Seed = cell.Seed
+				if spec.Workload != nil {
+					cfg.Workload = *spec.Workload
+				}
 				for i, a := range axes {
 					if err := a.Apply(coords[i], &cfg); err != nil {
 						return nil, fmt.Errorf("core: sweep cell %s: %w", cell.Name(), err)

@@ -599,3 +599,78 @@ func betterBy(challenger, incumbent, margin float64) bool {
 	}
 	return challenger < incumbent*(1-margin)
 }
+
+// KBestDisjoint returns up to k pairwise link-disjoint paths from src to
+// dst, ordered by estimated loss ascending (ties break toward lower
+// latency, then toward the direct path, then toward the lower via
+// index). The candidate set is the direct path plus every
+// single-intermediate path: the direct path uses only the src→dst link
+// while a via path uses src→via and via→dst with via ∉ {src, dst}, so
+// any two candidates with distinct vias are link-disjoint by
+// construction — picking the k lowest-loss candidates yields a
+// link-disjoint set without an explicit conflict check. This is the
+// multi-path counterpart of BestLoss: a redundant sender stripes copies
+// (or FEC shards) across the returned paths (§5).
+func (s *Selector) KBestDisjoint(src, dst, k int) []Choice {
+	return s.KBestDisjointAppend(nil, src, dst, k)
+}
+
+// KBestDisjointAppend is KBestDisjoint appending into buf, so a
+// steady-state caller (the campaign workload driver) reuses one scratch
+// slice across frames instead of allocating per query.
+func (s *Selector) KBestDisjointAppend(buf []Choice, src, dst, k int) []Choice {
+	if src == dst || k < 1 {
+		return buf
+	}
+	if max := s.n - 1; k > max {
+		k = max
+	}
+	start := len(buf)
+	direct := &s.est[src*s.n+dst]
+	buf = append(buf, Choice{
+		Via:     -1,
+		Loss:    direct.LossRate(),
+		Latency: direct.LatencyEstimate(s.fallbackLat),
+	})
+	for via := 0; via < s.n; via++ {
+		if via == src || via == dst {
+			continue
+		}
+		l1, l2 := &s.est[src*s.n+via], &s.est[via*s.n+dst]
+		c := Choice{
+			Via:  via,
+			Loss: pathLoss(l1.LossRate(), l2.LossRate()),
+			Latency: l1.LatencyEstimate(s.fallbackLat) +
+				l2.LatencyEstimate(s.fallbackLat),
+		}
+		cand := buf[start:]
+		if len(cand) < k {
+			buf = append(buf, c)
+			cand = buf[start:]
+		} else if kbetter(c, cand[len(cand)-1]) {
+			cand[len(cand)-1] = c
+		} else {
+			continue
+		}
+		// One insertion pass keeps the kept set sorted; k is tiny
+		// (bounded by the path-count axis), so this beats a heap.
+		for i := len(cand) - 1; i > 0 && kbetter(cand[i], cand[i-1]); i-- {
+			cand[i], cand[i-1] = cand[i-1], cand[i]
+		}
+	}
+	return buf
+}
+
+// kbetter orders candidates for KBestDisjoint: lower loss first, then
+// lower latency, then direct before via, then lower via index. The
+// ordering is total over the candidate set (vias are distinct), so the
+// selection is deterministic.
+func kbetter(a, b Choice) bool {
+	if a.Loss != b.Loss {
+		return a.Loss < b.Loss
+	}
+	if a.Latency != b.Latency {
+		return a.Latency < b.Latency
+	}
+	return a.Via < b.Via
+}
