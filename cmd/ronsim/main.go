@@ -94,6 +94,11 @@ func main() {
 		resume    = flag.Bool("resume", false, "sweep: reuse completed cell snapshots found under -out, running only the missing cells")
 		extend    = flag.Bool("extend", false, "sweep: like -resume for a grown grid — reuse every already-computed cell, run only the new ones")
 		mergeOnly = flag.Bool("merge-only", false, "sweep: skip running; rebuild merged/ under -out from completed cell snapshots and report missing grid points")
+
+		serve      = flag.String("serve", "", "sweep: serve the grid to a worker fleet on this address (host:port; port 0 picks one) instead of computing cells in this process")
+		workerURL  = flag.String("worker", "", "sweep: join the fleet served by the coordinator at this URL and work cells until the sweep drains")
+		leaseTTL   = flag.Duration("lease", 0, "sweep -serve: cell lease lifetime; a worker silent this long forfeits its cell (default 1m)")
+		workerName = flag.String("workername", "", "sweep -worker: name reported to the coordinator (default host:pid)")
 	)
 	// Every registered axis (standard and custom alike) derives its
 	// value-list flag from the registry; the profile axis is driven by
@@ -117,11 +122,22 @@ func main() {
 		for name, set := range map[string]bool{
 			"-cells": *cells != "", "-resume": *resume,
 			"-extend": *extend, "-merge-only": *mergeOnly,
+			"-serve": *serve != "", "-worker": *workerURL != "",
 		} {
 			if set {
 				fatal(fmt.Errorf("%s requires -sweep", name))
 			}
 		}
+	}
+
+	if *workerURL != "" {
+		// Worker mode: the coordinator owns the grid, the outputs, and
+		// the merge; this process only computes leased cells, so every
+		// grid and output flag belongs on the -serve side.
+		if err := runWorkerMode(*workerURL, *workerName); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *sweep {
@@ -157,6 +173,8 @@ func main() {
 			resume:    *resume || *extend,
 			outDir:    *outDir,
 			traceDir:  *traceTo,
+			serve:     *serve,
+			leaseTTL:  *leaseTTL,
 		}); err != nil {
 			fatal(err)
 		}
@@ -235,6 +253,13 @@ type sweepFlags struct {
 	cells            string
 	resume           bool
 	outDir, traceDir string
+	// serve, when non-empty, runs the sweep as a fleet coordinator on
+	// that address; leaseTTL is the cell lease lifetime it grants.
+	// onServe, when non-nil, additionally receives the bound address —
+	// how tests with port 0 join in-process workers.
+	serve    string
+	leaseTTL time.Duration
+	onServe  func(addr string)
 }
 
 // runSweep builds an experiment from the flags and runs it: per-cell
@@ -278,6 +303,24 @@ func runSweep(f sweepFlags) error {
 	}
 	if f.outDir != "" {
 		opts = append(opts, experiment.Output(f.outDir))
+	}
+	if f.serve != "" {
+		// Campaigns run on the workers, so per-cell trace sinks in this
+		// process would never fire; refuse rather than silently write an
+		// empty trace directory.
+		if f.traceDir != "" {
+			return errors.New("-trace is incompatible with -serve: traces are written where cells run; use -trace on a local sweep")
+		}
+		opts = append(opts,
+			experiment.Remote(f.serve),
+			experiment.RemoteLeaseTTL(f.leaseTTL),
+			experiment.RemoteReady(func(addr string) {
+				fmt.Printf("coordinator listening on %s\njoin workers with: ronsim -sweep -worker %s\n", addr, addr)
+				if f.onServe != nil {
+					f.onServe(addr)
+				}
+			}),
+		)
 	}
 
 	// Per-cell trace writers. The Configure hook (serial, at expansion)
@@ -500,30 +543,41 @@ func runMergeOnly(dir string) error {
 		len(m.Groups), filepath.Join(dir, core.ManifestName))
 	merged := 0
 	var incomplete []string
-	for _, g := range m.Groups {
+	var missingNames []string
+	for gi := range m.Groups {
+		g := &m.Groups[gi]
 		var results []*core.Result
 		var missing []string
-		for _, c := range g.Cells {
+		for ci, c := range g.Cells {
 			snap, err := core.ReadManifestCellSnapshot(dir, c)
 			if err != nil {
+				// Name the cell by its grid coordinates, not just its
+				// label: the coordinates are what an operator pastes back
+				// into axis flags to re-run exactly the missing work.
+				coords := g.CellCoords(ci)
 				if errors.Is(err, fs.ErrNotExist) {
-					missing = append(missing, c.Name)
+					missing = append(missing, fmt.Sprintf("%s [%s]", c.Name, coords))
 				} else {
-					missing = append(missing, fmt.Sprintf("%s (%v)", c.Name, err))
+					missing = append(missing, fmt.Sprintf("%s [%s] (%v)", c.Name, coords, err))
 				}
+				missingNames = append(missingNames, c.Name)
 				continue
 			}
 			res, err := snap.RestoreStandalone()
 			if err != nil {
-				missing = append(missing, fmt.Sprintf("%s (%v)", c.Name, err))
+				missing = append(missing, fmt.Sprintf("%s [%s] (%v)", c.Name, g.CellCoords(ci), err))
+				missingNames = append(missingNames, c.Name)
 				continue
 			}
 			results = append(results, res)
 		}
 		if len(missing) > 0 {
 			incomplete = append(incomplete, g.Name)
-			fmt.Printf("=== %s: MISSING %d/%d cells: %s ===\n\n",
-				g.Name, len(missing), len(g.Cells), strings.Join(missing, ", "))
+			fmt.Printf("=== %s: MISSING %d/%d cells ===\n", g.Name, len(missing), len(g.Cells))
+			for _, ms := range missing {
+				fmt.Printf("    %s\n", ms)
+			}
+			fmt.Println()
 			continue
 		}
 		mergedRes, err := core.MergeResults(results)
@@ -545,6 +599,8 @@ func runMergeOnly(dir string) error {
 		merged, len(m.Groups), filepath.Join(dir, core.MergedDirName))
 	if len(incomplete) > 0 {
 		fmt.Printf("missing grid points: %s\n", strings.Join(incomplete, ", "))
+		fmt.Printf("re-run exactly the missing cells with: -sweep ... -cells %s\n",
+			strings.Join(missingNames, ","))
 	}
 	if merged == 0 {
 		return errors.New("no grid point had a complete set of cell snapshots")

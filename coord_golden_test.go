@@ -1,0 +1,126 @@
+package repro
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/experiment"
+	"repro/internal/analysis"
+	"repro/internal/coord"
+	"repro/internal/core"
+)
+
+// TestGoldenSweepDigestsFleet is the coordinator's strongest claim made
+// falsifiable: the exact golden grid (the one goldenSweepDigests locks)
+// runs on an in-process worker fleet under deliberate fault injection —
+// one worker killed after computing its first cell without uploading,
+// one that never heartbeats and stalls its first cell past the lease
+// TTL so it re-dispatches and double-delivers, one healthy worker
+// uploading everything twice — and every rendered merged table must
+// hash to the same digests a single-process run locked years of
+// sessions ago. Re-dispatch, duplicate delivery, and lease expiry must
+// be invisible in the output bytes.
+func TestGoldenSweepDigestsFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: the golden sweep runs 32 compressed campaigns")
+	}
+	const ttl = time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	var fleet sync.WaitGroup
+	startFleet := func(addr string) {
+		// The victim runs first, alone, so it deterministically owns a
+		// cell: it computes it, exits without uploading, and leaves an
+		// orphaned lease the fleet recovers by expiry. The rest of the
+		// fleet starts only after the victim is gone.
+		var killed atomic.Bool
+		victim := coord.NewWorker(addr, coord.WithName("victim"),
+			coord.WithBeforeUpload(func(core.Cell) bool {
+				killed.Store(true)
+				return false
+			}))
+		if err := victim.Run(ctx); err != nil {
+			t.Errorf("victim: %v", err)
+		}
+		if !killed.Load() {
+			t.Error("victim worker got no cell; kill path untested")
+		}
+
+		// Straggler: no heartbeats, first cell stalled past the TTL so
+		// its lease expires mid-compute and the cell re-dispatches; its
+		// late delivery then races the healthy copy. Only the first cell
+		// stalls, to keep the test fast.
+		var stalled atomic.Bool
+		straggler := coord.NewWorker(addr, coord.WithName("straggler"),
+			coord.WithoutHeartbeats(),
+			coord.WithBeforeUpload(func(core.Cell) bool {
+				if stalled.CompareAndSwap(false, true) {
+					time.Sleep(2 * ttl)
+				}
+				return true
+			}))
+		doubler := coord.NewWorker(addr, coord.WithName("doubler"), coord.WithDuplicateUploads())
+		for _, w := range []*coord.Worker{straggler, doubler} {
+			fleet.Add(1)
+			go func() {
+				defer fleet.Done()
+				if err := w.Run(ctx); err != nil {
+					t.Errorf("worker: %v", err)
+				}
+			}()
+		}
+	}
+
+	e, err := experiment.New(
+		experiment.Datasets(experiment.RONnarrow),
+		experiment.Days(0.02),
+		experiment.Seed(42),
+		experiment.Replicas(2),
+		experiment.AxisValues("profile", "", "ls4-es1"),
+		experiment.AxisValues("hysteresis", "0", "0.25"),
+		experiment.AxisValues("probeinterval", "0", "30s"),
+		experiment.AxisValues("losswindow", "0", "25"),
+		experiment.Remote("127.0.0.1:0"),
+		experiment.RemoteLeaseTTL(ttl),
+		experiment.RemoteContext(ctx),
+		experiment.RemoteReady(func(addr string) { go startFleet(addr) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Wait()
+
+	arts := map[string]string{}
+	grid := ""
+	for _, c := range res.Cells {
+		grid += fmt.Sprintf("%s %d\n", c.Cell.Name(), c.Cell.Seed)
+	}
+	arts["grid"] = grid
+	for gi := range res.Groups {
+		g := &res.Groups[gi]
+		arts[g.Name()] = analysis.RenderTable5(g.Merged.Table5Rows(), g.Merged.LatencyLabel()) +
+			analysis.RenderTable6(g.Merged.Agg.HighLossHours())
+	}
+	if len(arts) != len(goldenSweepDigests) {
+		t.Fatalf("fleet produced %d artifacts, golden set has %d", len(arts), len(goldenSweepDigests))
+	}
+	for k, art := range arts {
+		sum := sha256.Sum256([]byte(art))
+		got := hex.EncodeToString(sum[:])
+		if want := goldenSweepDigests[k]; got != want {
+			t.Errorf("%s: fleet output diverged from the golden digests\n  got  %s\n  want %s\n(coordinator fault handling must be invisible in the output bytes)",
+				k, got, want)
+		}
+	}
+}

@@ -29,8 +29,10 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"io/fs"
+	"time"
 
 	"repro/internal/core"
 )
@@ -50,6 +52,14 @@ type Experiment struct {
 	outDir    string
 	warnf     func(format string, args ...any)
 	progress  func(core.CellResult)
+
+	// Remote-execution settings (see remote.go): when remote is set,
+	// Run serves the grid to a worker fleet instead of computing it.
+	remote      bool
+	remoteAddr  string
+	remoteTTL   time.Duration
+	remoteReady func(addr string)
+	remoteCtx   context.Context
 
 	sweep   *core.Sweep // memoized expansion
 	snapErr error
@@ -163,11 +173,16 @@ func (e *Experiment) Shard() string { return e.shard }
 // Run expands (if needed) and executes the experiment: selected cells
 // run over the worker pool, resumable cells restore from snapshots,
 // and — when an output directory is configured — every finished cell
-// persists a checksummed snapshot the moment it completes.
+// persists a checksummed snapshot the moment it completes. With
+// Remote, the cells run on a worker fleet instead of in-process; the
+// result is byte-identical either way.
 func (e *Experiment) Run() (*core.SweepResult, error) {
 	s, err := e.Sweep()
 	if err != nil {
 		return nil, err
+	}
+	if e.remote {
+		return e.runRemote(s)
 	}
 	res, err := s.Run()
 	if err != nil {

@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func remoteTestOptions(extra ...Option) []Option {
+	return append([]Option{
+		Datasets(RONnarrow),
+		Days(0.01),
+		Seed(11),
+		Replicas(2),
+		AxisValues("hysteresis", "0", "0.25"),
+	}, extra...)
+}
+
+// TestRemoteRunMatchesLocal: the same experiment run in-process and as
+// a coordinator with one worker produces identical merged aggregator
+// state (compared through the rendered per-group reports).
+func TestRemoteRunMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs sweep campaigns twice")
+	}
+	local, err := New(remoteTestOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := local.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	remote, err := New(remoteTestOptions(
+		Remote("127.0.0.1:0"),
+		RemoteLeaseTTL(2*time.Second),
+		RemoteContext(ctx),
+		RemoteReady(func(addr string) {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := RunWorker(ctx, addr, "w1", nil); err != nil {
+					t.Errorf("worker: %v", err)
+				}
+			}()
+		}),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := remote.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if len(got.Groups) != len(want.Groups) {
+		t.Fatalf("remote run produced %d groups, local %d", len(got.Groups), len(want.Groups))
+	}
+	for gi := range want.Groups {
+		w, g := &want.Groups[gi], &got.Groups[gi]
+		if w.Name() != g.Name() {
+			t.Fatalf("group %d: name %s vs %s", gi, g.Name(), w.Name())
+		}
+		if w.Merged.Report() != g.Merged.Report() {
+			t.Errorf("group %s: remote merged report differs from local", w.Name())
+		}
+	}
+	if got.Parallel != 1 {
+		t.Errorf("remote run reports %d workers, want 1", got.Parallel)
+	}
+}
+
+// TestRemoteFullyReusedRunNeedsNoWorkers: a coordinator whose every
+// cell restores from a prior run's snapshots completes without any
+// worker ever connecting — the resume contract carried to the fleet.
+func TestRemoteFullyReusedRunNeedsNoWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs sweep campaigns")
+	}
+	dir := t.TempDir()
+	first, err := New(remoteTestOptions(Output(dir))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := New(remoteTestOptions(
+		Resume(dir),
+		Remote("127.0.0.1:0"),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reused != len(res.Cells) {
+		t.Errorf("reused %d of %d cells, want all", res.Reused, len(res.Cells))
+	}
+	for gi := range res.Groups {
+		if res.Groups[gi].Merged == nil {
+			t.Errorf("group %s not merged on a fully reused remote run", res.Groups[gi].Name())
+		}
+	}
+}
+
+// TestRemoteContextCancel: a bounded remote Run with no workers ends
+// with the context's error instead of hanging.
+func TestRemoteContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	e, err := New(remoteTestOptions(
+		Remote("127.0.0.1:0"),
+		RemoteContext(ctx),
+		RemoteReady(func(string) { cancel() }),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled remote run = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,480 @@
+package coord
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config configures a Coordinator. Sweep is required; everything else
+// has working defaults.
+type Config struct {
+	// Sweep is the expanded grid to distribute.
+	Sweep *core.Sweep
+	// LeaseTTL is the cell lease lifetime (heartbeats renew it); <= 0
+	// selects DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// Now is the coordinator's clock; nil selects time.Now. Tests
+	// inject a fake clock here to drive lease expiry deterministically.
+	Now func() time.Time
+	// OutDir, when non-empty, persists every delivered snapshot payload
+	// verbatim under cells/<cell>/cell.snap — the same bytes and layout
+	// a single-process sweep writes, so -merge-only and ronreport work
+	// on a coordinator's output directory unchanged.
+	OutDir string
+	// Filter, when non-nil, restricts the coordinator to the cells it
+	// accepts (the -cells sharding contract): filtered-out cells are
+	// never leased and their groups are left unmerged.
+	Filter func(core.Cell) bool
+	// Reuse, when non-nil, is consulted serially for each selected cell
+	// before serving starts; returning a Result marks the cell done
+	// without leasing it (the -resume contract).
+	Reuse func(core.Cell, core.Config) (*core.Result, bool)
+	// OnCellDone, when non-nil, receives each first-delivered (or
+	// reused) cell; calls are serialized in completion order.
+	OnCellDone func(core.CellResult)
+	// OnGroupComplete, when non-nil, receives each grid point the
+	// moment its last replica lands and its replicas merge; calls are
+	// serialized in completion order.
+	OnGroupComplete func(*core.GroupResult)
+	// Warnf receives non-fatal notices; nil discards them.
+	Warnf func(format string, args ...any)
+}
+
+// Coordinator is the fleet service: it owns the expanded grid, leases
+// cells to workers, validates and deduplicates delivered snapshots,
+// and merges each grid point eagerly as its last cell lands. It has no
+// transport of its own — Server exposes it over HTTP, and tests drive
+// it directly.
+type Coordinator struct {
+	cfg      Config
+	sweep    *core.Sweep
+	cells    []core.Cell
+	manifest *core.SweepManifest
+	manJSON  []byte
+	queue    *LeaseQueue
+	slotCell []int       // queue item → cell index
+	cellSlot map[int]int // cell index → queue item
+	start    time.Time
+
+	mu        sync.Mutex
+	results   []*core.Result // by cell index; first delivery wins
+	walls     []time.Duration
+	cached    []bool
+	skipped   []bool
+	pending   []int // per group: selected, not-yet-done cells
+	mergeable []bool
+	merged    []*core.Result
+	mergedN   int
+	expectedN int // groups that will merge (no skipped cells)
+	selected  int
+	reused    int
+	doneCells int
+	workers   map[string]bool
+	err       error
+
+	done     chan struct{}
+	doneOnce sync.Once
+
+	cbMu sync.Mutex // serializes OnCellDone / OnGroupComplete
+}
+
+// New builds a coordinator over an expanded sweep: the full-grid
+// manifest is serialized once, the Reuse hook is applied serially
+// (fully reused groups merge immediately), and the lease queue is
+// seeded with every remaining runnable cell.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Sweep == nil {
+		return nil, errors.New("coord: Config.Sweep is required")
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		sweep:    cfg.Sweep,
+		cells:    cfg.Sweep.Cells(),
+		cellSlot: map[int]int{},
+		workers:  map[string]bool{},
+		done:     make(chan struct{}),
+		start:    time.Now(),
+	}
+	c.manifest = c.sweep.Manifest(nil, nil)
+	var err error
+	if c.manJSON, err = json.Marshal(c.manifest); err != nil {
+		return nil, err
+	}
+	n := len(c.cells)
+	c.results = make([]*core.Result, n)
+	c.walls = make([]time.Duration, n)
+	c.cached = make([]bool, n)
+	c.skipped = make([]bool, n)
+	c.pending = make([]int, c.sweep.NumGroups())
+	c.mergeable = make([]bool, c.sweep.NumGroups())
+	c.merged = make([]*core.Result, c.sweep.NumGroups())
+
+	// Selection and reuse run serially up front, exactly like
+	// Sweep.Run's expansion pass, so the queue only ever holds cells
+	// that genuinely need a worker.
+	var runnable []int
+	for i, cell := range c.cells {
+		if cfg.Filter != nil && !cfg.Filter(cell) {
+			c.skipped[i] = true
+			continue
+		}
+		c.selected++
+		if cfg.Reuse != nil {
+			if res, ok := cfg.Reuse(cell, c.sweep.Config(i)); ok {
+				c.results[i] = res
+				c.cached[i] = true
+				c.reused++
+				c.doneCells++
+				continue
+			}
+		}
+		runnable = append(runnable, i)
+	}
+	if c.selected == 0 {
+		return nil, errors.New("coord: cell filter selected no cells")
+	}
+	for g := 0; g < c.sweep.NumGroups(); g++ {
+		c.mergeable[g] = true
+		for _, i := range c.sweep.GroupCells(g) {
+			if c.skipped[i] {
+				c.mergeable[g] = false
+			} else if !c.cached[i] {
+				c.pending[g]++
+			}
+		}
+		if c.mergeable[g] {
+			c.expectedN++
+		}
+	}
+	c.queue = NewLeaseQueue(len(runnable), cfg.LeaseTTL, cfg.Now)
+	c.slotCell = runnable
+	for slot, i := range runnable {
+		c.cellSlot[i] = slot
+	}
+
+	// Reused cells fire the completion callbacks now, and groups fully
+	// satisfied from snapshots merge before the first worker connects.
+	for i := range c.cells {
+		if c.cached[i] {
+			c.notifyCell(core.CellResult{Cell: c.cells[i], Res: c.results[i], Cached: true})
+		}
+	}
+	c.mu.Lock()
+	for g := 0; g < c.sweep.NumGroups(); g++ {
+		if c.mergeable[g] && c.pending[g] == 0 {
+			if err := c.mergeGroupLocked(g); err != nil {
+				c.mu.Unlock()
+				return nil, err
+			}
+		}
+	}
+	c.checkDoneLocked()
+	c.mu.Unlock()
+	return c, nil
+}
+
+func (c *Coordinator) warnf(format string, args ...any) {
+	if c.cfg.Warnf != nil {
+		c.cfg.Warnf(format, args...)
+	}
+}
+
+// ManifestJSON returns the serialized full-grid manifest served to
+// workers.
+func (c *Coordinator) ManifestJSON() []byte { return c.manJSON }
+
+// TTL returns the lease lifetime in force.
+func (c *Coordinator) TTL() time.Duration { return c.queue.TTL() }
+
+// Grant leases the next runnable cell to worker.
+func (c *Coordinator) Grant(worker string) LeaseResponse {
+	c.mu.Lock()
+	c.workers[worker] = true
+	c.mu.Unlock()
+	l, st := c.queue.Grant(worker)
+	switch st {
+	case Drained:
+		return LeaseResponse{Status: StatusDone}
+	case Wait:
+		// Suggest re-asking well inside a TTL so an expiry is picked up
+		// promptly without hammering the coordinator.
+		return LeaseResponse{Status: StatusWait, RetryMillis: c.queue.TTL().Milliseconds()/4 + 1}
+	}
+	cell := c.cells[c.slotCell[l.Item]]
+	return LeaseResponse{
+		Status:    StatusGranted,
+		Lease:     l.ID,
+		Cell:      cell.Index,
+		Name:      cell.Name(),
+		Seed:      cell.Seed,
+		TTLMillis: c.queue.TTL().Milliseconds(),
+	}
+}
+
+// Renew heartbeats a lease.
+func (c *Coordinator) Renew(id uint64) (RenewResponse, error) {
+	if _, err := c.queue.Renew(id); err != nil {
+		return RenewResponse{}, err
+	}
+	return RenewResponse{TTLMillis: c.queue.TTL().Milliseconds()}, nil
+}
+
+// Complete accepts a finished cell's snapshot payload: CRC and
+// structure are validated by the container parse, the cell identity
+// (name and coordinate-derived seed) must match the grid point the
+// index names, and the aggregator state must restore against the
+// coordinator's own Config for that cell. First delivery wins; any
+// later delivery of the same cell validates, reports duplicate, and
+// changes nothing — re-dispatched stragglers are expected, not errors.
+func (c *Coordinator) Complete(cellIdx int, payload []byte, wall time.Duration) (CompleteResponse, error) {
+	if cellIdx < 0 || cellIdx >= len(c.cells) {
+		return CompleteResponse{}, fmt.Errorf("coord: cell index %d out of range", cellIdx)
+	}
+	cell := c.cells[cellIdx]
+	slot, runnable := c.cellSlot[cellIdx]
+	if !runnable {
+		if c.skipped[cellIdx] {
+			return CompleteResponse{}, fmt.Errorf("coord: cell %s is outside this coordinator's shard", cell.Name())
+		}
+		// Reused cell: the result is already in hand; treat the
+		// delivery as a duplicate after validating it.
+	}
+	snap, err := core.ParseCellSnapshot(payload)
+	if err != nil {
+		return CompleteResponse{}, err
+	}
+	if snap.Name != cell.Name() || snap.Seed != cell.Seed {
+		return CompleteResponse{}, fmt.Errorf("coord: snapshot is for %s seed %d, lease was %s seed %d",
+			snap.Name, snap.Seed, cell.Name(), cell.Seed)
+	}
+	res, err := snap.Restore(c.sweep.Config(cellIdx))
+	if err != nil {
+		return CompleteResponse{}, err
+	}
+	if !runnable || !c.queue.Complete(slot) {
+		return CompleteResponse{Duplicate: true}, nil
+	}
+
+	// First delivery: persist the exact wire bytes (they are the same
+	// container a local sweep writes), record the result, and merge the
+	// group if this was its last outstanding cell.
+	if c.cfg.OutDir != "" {
+		path := core.CellSnapshotPath(c.cfg.OutDir, cell.Name())
+		if err := writeFileAtomic(path, payload); err != nil {
+			c.warnf("cell %s: persisting snapshot: %v\n", cell.Name(), err)
+			c.mu.Lock()
+			if c.err == nil {
+				c.err = fmt.Errorf("coord: persisting cell %s: %w", cell.Name(), err)
+			}
+			c.mu.Unlock()
+		}
+	}
+	c.notifyCell(core.CellResult{Cell: cell, Res: res, Wall: wall})
+	c.mu.Lock()
+	c.results[cellIdx] = res
+	c.walls[cellIdx] = wall
+	c.doneCells++
+	g := cell.Group
+	if c.mergeable[g] {
+		c.pending[g]--
+		if c.pending[g] == 0 {
+			if err := c.mergeGroupLocked(g); err != nil {
+				if c.err == nil {
+					c.err = err
+				}
+			}
+		}
+	}
+	c.checkDoneLocked()
+	c.mu.Unlock()
+	return CompleteResponse{}, nil
+}
+
+// mergeGroupLocked merges group g's replicas in replica order (the
+// schedule-independent order every execution mode uses) and fires
+// OnGroupComplete. Callers hold c.mu.
+func (c *Coordinator) mergeGroupLocked(g int) error {
+	idxs := c.sweep.GroupCells(g)
+	results := make([]*core.Result, len(idxs))
+	for k, i := range idxs {
+		results[k] = c.results[i]
+	}
+	merged, err := core.MergeResults(results)
+	if err != nil {
+		return fmt.Errorf("coord: merging group %s: %w", c.cells[idxs[0]].GroupName(), err)
+	}
+	c.merged[g] = merged
+	c.mergedN++
+	if c.cfg.OnGroupComplete != nil {
+		gr := c.groupResultLocked(g)
+		// Release the state lock around the callback: it may render
+		// tables or write figures, and must not block lease traffic.
+		c.mu.Unlock()
+		c.cbMu.Lock()
+		c.cfg.OnGroupComplete(&gr)
+		c.cbMu.Unlock()
+		c.mu.Lock()
+	}
+	return nil
+}
+
+// notifyCell fires OnCellDone, serialized.
+func (c *Coordinator) notifyCell(r core.CellResult) {
+	if c.cfg.OnCellDone == nil {
+		return
+	}
+	c.cbMu.Lock()
+	c.cfg.OnCellDone(r)
+	c.cbMu.Unlock()
+}
+
+// checkDoneLocked closes the completion channel once every selected
+// cell is done and every mergeable group has merged.
+func (c *Coordinator) checkDoneLocked() {
+	if c.doneCells == c.selected && c.mergedN == c.expectedN {
+		c.doneOnce.Do(func() { close(c.done) })
+	}
+}
+
+// Done returns a channel closed when the sweep is complete (all
+// selected cells delivered, all complete groups merged).
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Err returns the first fatal error (a snapshot that failed to
+// persist, a group that failed to merge), or nil.
+func (c *Coordinator) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// groupResultLocked assembles group g's GroupResult. Callers hold c.mu.
+func (c *Coordinator) groupResultLocked(g int) core.GroupResult {
+	idxs := c.sweep.GroupCells(g)
+	first := c.cells[idxs[0]]
+	mg := &c.manifest.Groups[g]
+	gr := core.GroupResult{
+		Dataset: first.Dataset,
+		Axes:    first.Axes,
+		Coords:  first.Coords,
+		Hosts:   mg.Hosts,
+		Methods: mg.Methods,
+		Cells:   make([]*core.CellResult, len(idxs)),
+		Merged:  c.merged[g],
+	}
+	for k, i := range idxs {
+		gr.Cells[k] = &core.CellResult{
+			Cell:    c.cells[i],
+			Res:     c.results[i],
+			Wall:    c.walls[i],
+			Skipped: c.skipped[i],
+			Cached:  c.cached[i],
+		}
+	}
+	return gr
+}
+
+// Snapshot returns the live Progress view.
+func (c *Coordinator) Snapshot() Progress {
+	pending, leased, _ := c.queue.Counts()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := Progress{
+		TotalCells:    len(c.cells),
+		SelectedCells: c.selected,
+		DoneCells:     c.doneCells,
+		LeasedCells:   leased,
+		PendingCells:  pending,
+		ReusedCells:   c.reused,
+		Complete:      c.doneCells == c.selected && c.mergedN == c.expectedN,
+	}
+	for g := 0; g < c.sweep.NumGroups(); g++ {
+		idxs := c.sweep.GroupCells(g)
+		gp := GroupProgress{
+			Name:   c.cells[idxs[0]].GroupName(),
+			Cells:  len(idxs),
+			Merged: c.merged[g] != nil,
+		}
+		for _, i := range idxs {
+			if c.results[i] != nil {
+				gp.Done++
+			}
+		}
+		p.Groups = append(p.Groups, gp)
+	}
+	return p
+}
+
+// Result assembles the completed sweep's SweepResult — the same shape
+// Sweep.Run returns, with cells restored from delivered snapshots — so
+// callers above the fleet (the experiment builder, ronsim's reporting
+// path) are oblivious to whether cells ran locally or on a fleet.
+func (c *Coordinator) Result() *core.SweepResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := &core.SweepResult{
+		Spec:     c.sweep.Spec(),
+		Datasets: c.sweep.Datasets(),
+		Axes:     c.sweep.Axes(),
+		Replicas: c.sweep.Replicas(),
+		Cells:    make([]core.CellResult, len(c.cells)),
+		Groups:   make([]core.GroupResult, c.sweep.NumGroups()),
+		Wall:     time.Since(c.start),
+		Parallel: len(c.workers),
+		Selected: c.selected,
+		Reused:   c.reused,
+	}
+	for i := range c.cells {
+		out.Cells[i] = core.CellResult{
+			Cell:    c.cells[i],
+			Res:     c.results[i],
+			Wall:    c.walls[i],
+			Skipped: c.skipped[i],
+			Cached:  c.cached[i],
+		}
+	}
+	for g := range out.Groups {
+		gr := c.groupResultLocked(g)
+		// Point the group's cell results at the slice above so the two
+		// views alias one store, as Sweep.Run's result does.
+		for k, i := range c.sweep.GroupCells(g) {
+			gr.Cells[k] = &out.Cells[i]
+		}
+		out.Groups[g] = gr
+	}
+	return out
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file
+// and rename, creating parent directories — the same absent-or-
+// complete guarantee CellSnapshot.WriteFile provides.
+func writeFileAtomic(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 )
 
 // ManifestName is the filename of a sweep manifest inside its output
@@ -38,9 +39,16 @@ type SweepManifest struct {
 	// grid dimensions: dataset order, every grid axis in grid order
 	// with its complete canonical value list. ReadManifest reconstructs
 	// them for older versions by scanning the groups.
-	Replicas int             `json:"replicas,omitempty"`
-	Datasets []string        `json:"datasets,omitempty"`
-	Axes     []ManifestAxis  `json:"axes,omitempty"`
+	Replicas int            `json:"replicas,omitempty"`
+	Datasets []string       `json:"datasets,omitempty"`
+	Axes     []ManifestAxis `json:"axes,omitempty"`
+	// Workload records the sweep's base application-traffic
+	// configuration, applied to every cell before the grid axes refine
+	// it; nil for workload-free sweeps (and for manifests written before
+	// the field existed). Without it a manifest-derived spec would
+	// silently drop the workload base and a fleet would compute
+	// mislabeled cells.
+	Workload *WorkloadConfig `json:"workload,omitempty"`
 	Groups   []ManifestGroup `json:"groups"`
 }
 
@@ -72,6 +80,25 @@ type ManifestGroup struct {
 	Cells               []ManifestCell `json:"cells"`
 }
 
+// CellCoords describes the group's cell at replica position i in
+// operator terms: the dataset, every non-default axis coordinate by
+// name, and the replica ordinal. Missing-cell reports use it so a fleet
+// operator can re-dispatch by hand from the grid's coordinates instead
+// of reverse-engineering an encoded cell name.
+func (g *ManifestGroup) CellCoords(i int) string {
+	var b strings.Builder
+	b.WriteString("dataset=")
+	b.WriteString(g.Dataset)
+	for _, name := range sortedAxisNames(g.Axes) {
+		b.WriteString(" ")
+		b.WriteString(name)
+		b.WriteString("=")
+		b.WriteString(g.Axes[name])
+	}
+	fmt.Fprintf(&b, " replica=%d", i)
+	return b.String()
+}
+
 // ManifestCell describes one replicate campaign.
 type ManifestCell struct {
 	Name string `json:"name"`
@@ -97,6 +124,7 @@ func (r *SweepResult) Manifest(tracePath, snapPath func(Cell) string) *SweepMani
 		BaseSeed: r.Spec.BaseSeed,
 		Days:     r.Spec.Days,
 		Replicas: r.Replicas,
+		Workload: r.Spec.Workload,
 	}
 	for _, d := range r.Datasets {
 		m.Datasets = append(m.Datasets, d.String())
@@ -124,6 +152,61 @@ func (r *SweepResult) Manifest(tracePath, snapPath func(Cell) string) *SweepMani
 			}
 			if snapPath != nil {
 				mc.Snapshot = snapPath(c.Cell)
+			}
+			mg.Cells = append(mg.Cells, mc)
+		}
+		m.Groups = append(m.Groups, mg)
+	}
+	return m
+}
+
+// Manifest records the sweep's full expanded grid before (or without)
+// running it — identical in shape to the manifest SweepResult.Manifest
+// writes after a run, because both derive from the same expansion. It
+// is what a coordinator serves to its workers: expanding the returned
+// manifest's SweepSpec on any machine reproduces the exact cells,
+// names, and coordinate-derived seeds. tracePath and snapPath have the
+// same contract as in SweepResult.Manifest.
+func (s *Sweep) Manifest(tracePath, snapPath func(Cell) string) *SweepManifest {
+	m := &SweepManifest{
+		Version:  ManifestVersion,
+		BaseSeed: s.spec.BaseSeed,
+		Days:     s.spec.Days,
+		Replicas: s.replicas,
+		Workload: s.spec.Workload,
+	}
+	for _, d := range s.datasets {
+		m.Datasets = append(m.Datasets, d.String())
+	}
+	for _, a := range s.axes {
+		ma := ManifestAxis{Name: a.Name()}
+		for _, v := range a.Values() {
+			ma.Values = append(ma.Values, string(v))
+		}
+		m.Axes = append(m.Axes, ma)
+	}
+	for _, idxs := range s.groups {
+		first := s.cells[idxs[0]]
+		cfg := s.cfgs[idxs[0]]
+		var names []string
+		for _, mth := range cfg.methods() {
+			names = append(names, mth.Name)
+		}
+		mg := ManifestGroup{
+			Name:    first.GroupName(),
+			Dataset: first.Dataset.String(),
+			Hosts:   cfg.testbed().N(),
+			Methods: names,
+			Axes:    first.AxisValues(),
+		}
+		for _, i := range idxs {
+			c := s.cells[i]
+			mc := ManifestCell{Name: c.Name(), Seed: c.Seed}
+			if tracePath != nil {
+				mc.Trace = tracePath(c)
+			}
+			if snapPath != nil {
+				mc.Snapshot = snapPath(c)
 			}
 			mg.Cells = append(mg.Cells, mc)
 		}
@@ -248,6 +331,7 @@ func (m *SweepManifest) SweepSpec() (SweepSpec, error) {
 		BaseSeed: m.BaseSeed,
 		Days:     m.Days,
 		Replicas: m.Replicas,
+		Workload: m.Workload,
 	}
 	for _, name := range m.Datasets {
 		d, err := ParseDataset(name)

@@ -269,8 +269,24 @@ func ReadCellSnapshot(path string) (*CellSnapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parseCellSnapshot(data, path)
+}
+
+// ParseCellSnapshot verifies and decodes a snapshot container from
+// memory — the same checks ReadCellSnapshot performs on a file. It is
+// how a coordinator validates a snapshot payload delivered over the
+// wire before trusting its contents: CRC-32 first, then structure, so
+// a payload truncated or corrupted in flight is rejected rather than
+// merged as data.
+func ParseCellSnapshot(data []byte) (*CellSnapshot, error) {
+	return parseCellSnapshot(data, "payload")
+}
+
+// parseCellSnapshot decodes a snapshot container, naming src (a path,
+// or "payload" for wire deliveries) in every error.
+func parseCellSnapshot(data []byte, src string) (*CellSnapshot, error) {
 	corrupt := func(why string) error {
-		return fmt.Errorf("core: cell snapshot %s: %s", path, why)
+		return fmt.Errorf("core: cell snapshot %s: %s", src, why)
 	}
 	if len(data) < len(snapshotMagic)+12 {
 		return nil, corrupt("too short")
@@ -308,11 +324,11 @@ func ReadCellSnapshot(path string) (*CellSnapshot, error) {
 	}
 	if snap.Version != SnapshotVersion {
 		return nil, fmt.Errorf("core: cell snapshot %s: unsupported version %d (want %d)",
-			path, snap.Version, SnapshotVersion)
+			src, snap.Version, SnapshotVersion)
 	}
 	agg, err := analysis.UnmarshalAggregator(body[off:])
 	if err != nil {
-		return nil, fmt.Errorf("core: cell snapshot %s: %w", path, err)
+		return nil, fmt.Errorf("core: cell snapshot %s: %w", src, err)
 	}
 	snap.aggCodec = body[off] // payload leads with its codec version
 	if agg.Hosts() != snap.Hosts {

@@ -356,6 +356,24 @@ func (s *Sweep) Axes() []Axis { return append([]Axis(nil), s.axes...) }
 // Datasets returns the normalized dataset list.
 func (s *Sweep) Datasets() []Dataset { return append([]Dataset(nil), s.datasets...) }
 
+// Replicas returns the normalized replicate count per grid point.
+func (s *Sweep) Replicas() int { return s.replicas }
+
+// Spec returns the spec the sweep was expanded from.
+func (s *Sweep) Spec() SweepSpec { return s.spec }
+
+// Config returns the fully built Config of the cell at expansion index
+// i — dataset defaults, axis values, derived seed, and the Configure
+// hook already applied. A coordinator uses it to validate incoming
+// snapshots against the exact grid point it handed out.
+func (s *Sweep) Config(i int) Config { return s.cfgs[i] }
+
+// NumGroups returns the number of grid points in the expanded grid.
+func (s *Sweep) NumGroups() int { return len(s.groups) }
+
+// GroupCells returns the cell indices of group g in replica order.
+func (s *Sweep) GroupCells(g int) []int { return append([]int(nil), s.groups[g]...) }
+
 // Run executes every selected cell over a worker pool and merges
 // replicas. Each worker owns a reusable Arena, so successive cells pay
 // in-place reinitialization instead of full construction. Cells are
