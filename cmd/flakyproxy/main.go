@@ -1,0 +1,53 @@
+// Command flakyproxy is a deliberately unreliable HTTP reverse proxy
+// for chaos-testing the coordinator/worker fleet: it forwards requests
+// to -target except every -fail-every'th one, which is answered with a
+// 503 before reaching the backend. A dead or restarting backend shows
+// through as 502s. Workers pointed at the proxy must ride out both
+// with their transient-retry backoff, and the sweep output must still
+// come out byte-identical to an unproxied run — which is exactly what
+// the chaos-e2e CI job asserts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+func main() {
+	log.SetFlags(0)
+	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
+	target := flag.String("target", "", "backend to proxy to (host:port; scheme optional)")
+	failEvery := flag.Int("fail-every", 3, "answer every Nth request with a 503 instead of proxying (0 disables fault injection)")
+	flag.Parse()
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "flakyproxy: -target is required")
+		os.Exit(2)
+	}
+	t := *target
+	if !strings.Contains(t, "://") {
+		t = "http://" + t
+	}
+	u, err := url.Parse(t)
+	if err != nil {
+		log.Fatalf("flakyproxy: parsing -target: %v", err)
+	}
+	rp := httputil.NewSingleHostReverseProxy(u)
+	var n atomic.Int64
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if k := int64(*failEvery); k > 0 && n.Add(1)%k == 0 {
+			log.Printf("flakyproxy: injecting 503 for %s %s", r.Method, r.URL.Path)
+			http.Error(w, "flakyproxy: injected fault", http.StatusServiceUnavailable)
+			return
+		}
+		rp.ServeHTTP(w, r)
+	})
+	log.Printf("flakyproxy: %s -> %s, failing every %d requests", *listen, u, *failEvery)
+	log.Fatal(http.ListenAndServe(*listen, handler))
+}

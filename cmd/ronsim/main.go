@@ -720,11 +720,17 @@ func writeFigures(dir string, d core.Dataset, res *core.Result) error {
 	if err := write("table6.txt", analysis.RenderTable6(res.Agg.HighLossHours())); err != nil {
 		return err
 	}
-	// The workload table only exists for workload-enabled cells; writing
-	// it unconditionally would break byte-identity between workload-free
-	// grids produced before and after this file existed.
+	// The workload and resilience tables only exist for cells that ran
+	// those layers; writing them unconditionally would break
+	// byte-identity between grids produced before and after these files
+	// existed.
 	if ws := res.Agg.Workload(); ws != nil && ws.HasData() {
-		return write("workload.txt", analysis.RenderWorkloadTable(ws))
+		if err := write("workload.txt", analysis.RenderWorkloadTable(ws)); err != nil {
+			return err
+		}
+	}
+	if rs := res.Agg.Resilience(); rs != nil && rs.HasData() {
+		return write("resilience.txt", analysis.RenderResilienceTable(rs))
 	}
 	return nil
 }

@@ -84,6 +84,10 @@ type Aggregator struct {
 	// nil until a workload campaign first feeds it, so probe-only
 	// aggregators pay nothing.
 	wl *WorkloadStats
+
+	// res holds the failure-resilience metric family (resilience.go);
+	// nil until a scenario campaign first feeds it.
+	res *ResilienceStats
 }
 
 // Table6Thresholds are the loss-percentage thresholds of Table 6.
@@ -153,6 +157,9 @@ func (a *Aggregator) Reset() {
 	a.hourMaxRate = 0
 	if a.wl != nil {
 		a.wl.reset()
+	}
+	if a.res != nil {
+		a.res.reset()
 	}
 }
 
@@ -367,6 +374,9 @@ func (a *Aggregator) Merge(other *Aggregator) error {
 		if err := a.ensureWorkload().merge(other.wl); err != nil {
 			return err
 		}
+	}
+	if other.res != nil {
+		a.ensureResilience().merge(other.res)
 	}
 	return nil
 }

@@ -104,6 +104,27 @@ func RenderWorkloadTable(w *WorkloadStats) string {
 	return b.String()
 }
 
+// RenderResilienceTable formats the failure-recovery comparison: one
+// row per recovery scheme with availability during injected outages,
+// the fraction of outages masked, and time to recovery (mean and p95),
+// with a footer giving the underlay outage count the rows are measured
+// over.
+func RenderResilienceTable(s *ResilienceStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %9s %8s %8s %9s %9s\n",
+		"Scheme", "probes", "avail%", "masked%", "ttr", "p95ttr")
+	for i, name := range [...]string{"best-path", "multi-path"} {
+		v := s.Variant(i)
+		fmt.Fprintf(&b, "%-14s %9d %8.2f %8.2f %8.1fs %8.1fs\n",
+			name, v.ProbesSent, v.AvailabilityPct(), s.MaskedPct(i),
+			float64(v.MeanTTR())/float64(time.Second),
+			v.TTRCDF().Quantile(0.95))
+	}
+	fmt.Fprintf(&b, "(injected underlay outages: %d; availability and recovery measured while outages were in effect)\n",
+		s.UnderlayOutages)
+	return b.String()
+}
+
 // RenderCDF formats a CDF series as two-column text (x, fraction),
 // mirroring the gnuplot data behind the paper's figures.
 func RenderCDF(label string, pts []Point) string {

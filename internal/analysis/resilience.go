@@ -1,0 +1,157 @@
+package analysis
+
+import "time"
+
+// Resilience delivery variants: every injected underlay outage is
+// watched under both recovery schemes, so the paper's failure-recovery
+// comparison — does the overlay's best path route around the outage,
+// and does redundant multi-path delivery mask it faster? — comes out of
+// one campaign.
+const (
+	// ResilienceBestPath probes the overlay's current loss-optimized
+	// route (what single-path application traffic would ride).
+	ResilienceBestPath = iota
+	// ResilienceMultiPath probes a direct copy plus an indirect copy;
+	// either arriving masks the outage.
+	ResilienceMultiPath
+	resilienceVariants
+)
+
+// ResilienceVariantStats accumulates outage-recovery statistics for one
+// delivery scheme.
+type ResilienceVariantStats struct {
+	// ProbesSent/ProbesDelivered count recovery probes issued while an
+	// injected underlay outage was in effect; their ratio is the
+	// scheme's availability through failures.
+	ProbesSent      int64
+	ProbesDelivered int64
+	// Masked counts outage windows during which the scheme delivered at
+	// least once — underlay failures the overlay routed around.
+	Masked int64
+
+	ttrSumNS float64
+	ttrN     int64
+	// ttrCDF pools time-to-recovery samples (whole seconds: outage
+	// onset to the scheme's first successful delivery; recovery probes
+	// fire once per second, so finer quantization adds nothing).
+	ttrCDF CDF
+}
+
+// AvailabilityPct returns the fraction of recovery probes delivered
+// during outages, in percent.
+func (v *ResilienceVariantStats) AvailabilityPct() float64 {
+	if v.ProbesSent == 0 {
+		return 0
+	}
+	return 100 * float64(v.ProbesDelivered) / float64(v.ProbesSent)
+}
+
+// MeanTTR returns the mean time from outage onset to the scheme's first
+// successful delivery, over masked outages.
+func (v *ResilienceVariantStats) MeanTTR() time.Duration {
+	if v.ttrN == 0 {
+		return 0
+	}
+	return time.Duration(v.ttrSumNS / float64(v.ttrN))
+}
+
+// TTRCDF returns the time-to-recovery distribution in whole seconds.
+func (v *ResilienceVariantStats) TTRCDF() *CDF { return &v.ttrCDF }
+
+func (v *ResilienceVariantStats) reset() {
+	v.ttrCDF.Reset()
+	*v = ResilienceVariantStats{ttrCDF: v.ttrCDF}
+}
+
+func (v *ResilienceVariantStats) merge(o *ResilienceVariantStats) {
+	v.ProbesSent += o.ProbesSent
+	v.ProbesDelivered += o.ProbesDelivered
+	v.Masked += o.Masked
+	v.ttrSumNS += o.ttrSumNS
+	v.ttrN += o.ttrN
+	v.ttrCDF.Merge(&o.ttrCDF)
+}
+
+// ResilienceStats is the failure-recovery metric family: per-scheme
+// availability, masking, and time-to-recovery statistics over the
+// campaign's injected underlay outages. It hangs off an Aggregator
+// lazily, so campaigns without scenarios pay nothing.
+type ResilienceStats struct {
+	// UnderlayOutages counts the injected outage windows watched.
+	UnderlayOutages int64
+
+	variants [resilienceVariants]ResilienceVariantStats
+}
+
+// Variant returns the stats for one recovery scheme
+// (ResilienceBestPath or ResilienceMultiPath).
+func (s *ResilienceStats) Variant(i int) *ResilienceVariantStats { return &s.variants[i] }
+
+// HasData reports whether any outages were watched.
+func (s *ResilienceStats) HasData() bool { return s.UnderlayOutages > 0 }
+
+// MaskedPct returns the fraction of underlay outages the scheme masked
+// (delivered through at least once), in percent.
+func (s *ResilienceStats) MaskedPct(variant int) float64 {
+	if s.UnderlayOutages == 0 {
+		return 0
+	}
+	return 100 * float64(s.variants[variant].Masked) / float64(s.UnderlayOutages)
+}
+
+// reset zeroes the stats in place, retaining CDF storage (the arena's
+// Reset contract).
+func (s *ResilienceStats) reset() {
+	s.UnderlayOutages = 0
+	for i := range s.variants {
+		s.variants[i].reset()
+	}
+}
+
+// merge folds o into s.
+func (s *ResilienceStats) merge(o *ResilienceStats) {
+	s.UnderlayOutages += o.UnderlayOutages
+	for i := range s.variants {
+		s.variants[i].merge(&o.variants[i])
+	}
+}
+
+// ensureResilience lazily attaches the resilience stats (one allocation
+// per aggregator lifetime; Reset clears it in place).
+func (a *Aggregator) ensureResilience() *ResilienceStats {
+	if a.res == nil {
+		a.res = &ResilienceStats{}
+	}
+	return a.res
+}
+
+// Resilience returns the aggregator's resilience stats, or nil when no
+// scenario campaign ever fed this aggregator. Callers gate rendering on
+// Resilience() != nil && Resilience().HasData().
+func (a *Aggregator) Resilience() *ResilienceStats { return a.res }
+
+// ResilienceOutage records one injected underlay outage window.
+func (a *Aggregator) ResilienceOutage() { a.ensureResilience().UnderlayOutages++ }
+
+// ResilienceProbe records one recovery probe sent under a scheme while
+// an underlay outage was in effect.
+func (a *Aggregator) ResilienceProbe(variant int, delivered bool) {
+	v := &a.ensureResilience().variants[variant]
+	v.ProbesSent++
+	if delivered {
+		v.ProbesDelivered++
+	}
+}
+
+// ResilienceOutcome records one closed outage watch: whether the scheme
+// masked the outage and, if so, its time to recovery.
+func (a *Aggregator) ResilienceOutcome(variant int, masked bool, ttr time.Duration) {
+	if !masked {
+		return
+	}
+	v := &a.ensureResilience().variants[variant]
+	v.Masked++
+	v.ttrSumNS += float64(ttr)
+	v.ttrN++
+	v.ttrCDF.Add(float64(ttr / time.Second))
+}

@@ -22,11 +22,22 @@ import (
 //	    per-variant frame counters, latency and per-stream loss runs).
 //	    Written only when the aggregator holds workload data, so
 //	    probe-only campaigns keep emitting byte-identical v2 payloads.
+//	v4: the v2 layout followed by a u8 workload-present flag, the
+//	    workload section when flagged, and a resilience section
+//	    (underlay outage count, per-scheme recovery counters and
+//	    time-to-recovery runs). Written only when the aggregator holds
+//	    resilience data, so scenario-off campaigns keep emitting
+//	    byte-identical v2/v3 payloads.
 const aggSnapshotVersion = 2
 
 // aggSnapshotVersionWorkload marks payloads carrying the trailing
 // workload section.
 const aggSnapshotVersionWorkload = 3
+
+// aggSnapshotVersionResilience marks payloads carrying the trailing
+// resilience section (and a workload-present flag before the optional
+// workload section).
+const aggSnapshotVersionResilience = 4
 
 // SnapshotCodecVersion is the aggregator codec version MarshalBinary
 // writes for probe-only campaigns (workload-bearing aggregators emit
@@ -121,10 +132,14 @@ func (a *Aggregator) MarshalBinary() ([]byte, error) {
 func (a *Aggregator) AppendBinary(buf []byte) ([]byte, error) {
 	a.Flush()
 	hasWL := a.wl != nil && a.wl.HasData()
+	hasRes := a.res != nil && a.res.HasData()
 	w := &binWriter{buf: buf}
-	if hasWL {
+	switch {
+	case hasRes:
+		w.u8(aggSnapshotVersionResilience)
+	case hasWL:
 		w.u8(aggSnapshotVersionWorkload)
-	} else {
+	default:
 		w.u8(aggSnapshotVersion)
 	}
 	w.u32(uint32(len(a.methods)))
@@ -174,6 +189,15 @@ func (a *Aggregator) AppendBinary(buf []byte) ([]byte, error) {
 			w.i64(a.hodLost[m][h])
 		}
 	}
+	if hasRes {
+		// v4 carries the workload section conditionally; flag its
+		// presence so the reader knows whether to expect it.
+		if hasWL {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	}
 	if hasWL {
 		w.u32(uint32(a.wl.DataShards))
 		w.u32(uint32(a.wl.ParityShards))
@@ -189,6 +213,18 @@ func (a *Aggregator) AppendBinary(buf []byte) ([]byte, error) {
 			w.i64(v.latN)
 			w.cdfRuns(&v.latCDF)
 			w.cdfRuns(&v.lossCDF)
+		}
+	}
+	if hasRes {
+		w.i64(a.res.UnderlayOutages)
+		for i := range a.res.variants {
+			v := &a.res.variants[i]
+			w.i64(v.ProbesSent)
+			w.i64(v.ProbesDelivered)
+			w.i64(v.Masked)
+			w.f64(v.ttrSumNS)
+			w.i64(v.ttrN)
+			w.cdfRuns(&v.ttrCDF)
 		}
 	}
 	return w.buf, nil
@@ -231,10 +267,9 @@ func readCDFRuns(r *binReader, c *CDF) error {
 func UnmarshalAggregator(data []byte) (*Aggregator, error) {
 	r := &binReader{buf: data}
 	version := r.u8()
-	if r.err == nil && version != 1 && version != aggSnapshotVersion &&
-		version != aggSnapshotVersionWorkload {
+	if r.err == nil && (version < 1 || version > aggSnapshotVersionResilience) {
 		return nil, fmt.Errorf("analysis: unsupported aggregator snapshot version %d (want 1..%d)",
-			version, aggSnapshotVersionWorkload)
+			version, aggSnapshotVersionResilience)
 	}
 	nm := int(r.u32())
 	nHosts := int(r.u32())
@@ -323,7 +358,11 @@ func UnmarshalAggregator(data []byte) (*Aggregator, error) {
 			a.hodLost[m][h] = r.i64()
 		}
 	}
-	if version >= aggSnapshotVersionWorkload {
+	readWL := version >= aggSnapshotVersionWorkload
+	if version >= aggSnapshotVersionResilience {
+		readWL = r.u8() != 0
+	}
+	if readWL {
 		wl := a.ensureWorkload()
 		wl.DataShards = int(r.u32())
 		wl.ParityShards = int(r.u32())
@@ -341,6 +380,21 @@ func UnmarshalAggregator(data []byte) (*Aggregator, error) {
 				return nil, err
 			}
 			if err := readCDFRuns(r, &v.lossCDF); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if version >= aggSnapshotVersionResilience {
+		res := a.ensureResilience()
+		res.UnderlayOutages = r.i64()
+		for i := range res.variants {
+			v := &res.variants[i]
+			v.ProbesSent = r.i64()
+			v.ProbesDelivered = r.i64()
+			v.Masked = r.i64()
+			v.ttrSumNS = r.f64()
+			v.ttrN = r.i64()
+			if err := readCDFRuns(r, &v.ttrCDF); err != nil {
 				return nil, err
 			}
 		}

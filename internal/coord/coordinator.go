@@ -6,11 +6,19 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 )
+
+// quarantineRejects is the consecutive-rejected-upload threshold at
+// which a cell's current lease is revoked and the cell re-dispatched:
+// a worker that keeps delivering corrupt payloads while dutifully
+// heartbeating would otherwise hold its cell forever, since neither
+// expiry nor completion ever frees it.
+const quarantineRejects = 3
 
 // Config configures a Coordinator. Sweep is required; everything else
 // has working defaults.
@@ -61,6 +69,7 @@ type Coordinator struct {
 	queue    *LeaseQueue
 	slotCell []int       // queue item → cell index
 	cellSlot map[int]int // cell index → queue item
+	now      func() time.Time
 	start    time.Time
 
 	mu        sync.Mutex
@@ -68,6 +77,7 @@ type Coordinator struct {
 	walls     []time.Duration
 	cached    []bool
 	skipped   []bool
+	rejects   []int // per cell: consecutive rejected uploads (quarantine)
 	pending   []int // per group: selected, not-yet-done cells
 	mergeable []bool
 	merged    []*core.Result
@@ -75,8 +85,9 @@ type Coordinator struct {
 	expectedN int // groups that will merge (no skipped cells)
 	selected  int
 	reused    int
+	recovered int // cells restored from a crashed incarnation's OutDir
 	doneCells int
-	workers   map[string]bool
+	workers   map[string]time.Time // worker → last contact
 	err       error
 
 	done     chan struct{}
@@ -98,9 +109,13 @@ func New(cfg Config) (*Coordinator, error) {
 		sweep:    cfg.Sweep,
 		cells:    cfg.Sweep.Cells(),
 		cellSlot: map[int]int{},
-		workers:  map[string]bool{},
+		now:      cfg.Now,
+		workers:  map[string]time.Time{},
 		done:     make(chan struct{}),
 		start:    time.Now(),
+	}
+	if c.now == nil {
+		c.now = time.Now
 	}
 	c.manifest = c.sweep.Manifest(nil, nil)
 	var err error
@@ -112,13 +127,19 @@ func New(cfg Config) (*Coordinator, error) {
 	c.walls = make([]time.Duration, n)
 	c.cached = make([]bool, n)
 	c.skipped = make([]bool, n)
+	c.rejects = make([]int, n)
 	c.pending = make([]int, c.sweep.NumGroups())
 	c.mergeable = make([]bool, c.sweep.NumGroups())
 	c.merged = make([]*core.Result, c.sweep.NumGroups())
 
 	// Selection and reuse run serially up front, exactly like
 	// Sweep.Run's expansion pass, so the queue only ever holds cells
-	// that genuinely need a worker.
+	// that genuinely need a worker. After the Reuse hook, OutDir is
+	// rescanned for snapshots a previous coordinator incarnation
+	// persisted before crashing: every delivery is written through to
+	// cells/ before it is acknowledged, so whatever a dead coordinator
+	// had accepted is exactly what its replacement finds on disk, and a
+	// restart resumes the sweep mid-flight instead of recomputing it.
 	var runnable []int
 	for i, cell := range c.cells {
 		if cfg.Filter != nil && !cfg.Filter(cell) {
@@ -131,6 +152,15 @@ func New(cfg Config) (*Coordinator, error) {
 				c.results[i] = res
 				c.cached[i] = true
 				c.reused++
+				c.doneCells++
+				continue
+			}
+		}
+		if cfg.OutDir != "" {
+			if res, ok := c.recoverCell(i, cell); ok {
+				c.results[i] = res
+				c.cached[i] = true
+				c.recovered++
 				c.doneCells++
 				continue
 			}
@@ -180,6 +210,35 @@ func New(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
+// recoverCell attempts crash-restart recovery for one selected cell:
+// read the snapshot a previous incarnation may have persisted under
+// OutDir, check it names this grid point (name and coordinate-derived
+// seed), and restore it against this coordinator's own Config.
+// Anything missing, torn, or mismatched means the cell is recomputed —
+// a bad file on disk must cost a re-run, never poison the merge.
+func (c *Coordinator) recoverCell(i int, cell core.Cell) (*core.Result, bool) {
+	path := core.CellSnapshotPath(c.cfg.OutDir, cell.Name())
+	snap, err := core.ReadCellSnapshot(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			c.warnf("cell %s: ignoring persisted snapshot: %v\n", cell.Name(), err)
+		}
+		return nil, false
+	}
+	if snap.Name != cell.Name() || snap.Seed != cell.Seed {
+		c.warnf("cell %s: persisted snapshot names %s seed %d; recomputing\n",
+			cell.Name(), snap.Name, snap.Seed)
+		return nil, false
+	}
+	res, err := snap.Restore(c.sweep.Config(i))
+	if err != nil {
+		c.warnf("cell %s: persisted snapshot does not restore: %v; recomputing\n",
+			cell.Name(), err)
+		return nil, false
+	}
+	return res, true
+}
+
 func (c *Coordinator) warnf(format string, args ...any) {
 	if c.cfg.Warnf != nil {
 		c.cfg.Warnf(format, args...)
@@ -196,7 +255,7 @@ func (c *Coordinator) TTL() time.Duration { return c.queue.TTL() }
 // Grant leases the next runnable cell to worker.
 func (c *Coordinator) Grant(worker string) LeaseResponse {
 	c.mu.Lock()
-	c.workers[worker] = true
+	c.workers[worker] = c.now()
 	c.mu.Unlock()
 	l, st := c.queue.Grant(worker)
 	switch st {
@@ -220,9 +279,13 @@ func (c *Coordinator) Grant(worker string) LeaseResponse {
 
 // Renew heartbeats a lease.
 func (c *Coordinator) Renew(id uint64) (RenewResponse, error) {
-	if _, err := c.queue.Renew(id); err != nil {
+	l, err := c.queue.Renew(id)
+	if err != nil {
 		return RenewResponse{}, err
 	}
+	c.mu.Lock()
+	c.workers[l.Worker] = c.now()
+	c.mu.Unlock()
 	return RenewResponse{TTLMillis: c.queue.TTL().Milliseconds()}, nil
 }
 
@@ -248,16 +311,22 @@ func (c *Coordinator) Complete(cellIdx int, payload []byte, wall time.Duration) 
 	}
 	snap, err := core.ParseCellSnapshot(payload)
 	if err != nil {
+		c.noteReject(cellIdx, slot, runnable)
 		return CompleteResponse{}, err
 	}
 	if snap.Name != cell.Name() || snap.Seed != cell.Seed {
+		c.noteReject(cellIdx, slot, runnable)
 		return CompleteResponse{}, fmt.Errorf("coord: snapshot is for %s seed %d, lease was %s seed %d",
 			snap.Name, snap.Seed, cell.Name(), cell.Seed)
 	}
 	res, err := snap.Restore(c.sweep.Config(cellIdx))
 	if err != nil {
+		c.noteReject(cellIdx, slot, runnable)
 		return CompleteResponse{}, err
 	}
+	c.mu.Lock()
+	c.rejects[cellIdx] = 0
+	c.mu.Unlock()
 	if !runnable || !c.queue.Complete(slot) {
 		return CompleteResponse{Duplicate: true}, nil
 	}
@@ -295,6 +364,32 @@ func (c *Coordinator) Complete(cellIdx int, payload []byte, wall time.Duration) 
 	c.checkDoneLocked()
 	c.mu.Unlock()
 	return CompleteResponse{}, nil
+}
+
+// noteReject records one rejected upload for a runnable cell and, at
+// quarantineRejects consecutive rejections, revokes whatever lease
+// holds the cell and requeues it so a healthy worker can take over
+// from the one delivering garbage. The counter resets on any accepted
+// delivery and after each quarantine, so a reformed worker earns a
+// fresh allowance.
+func (c *Coordinator) noteReject(cellIdx, slot int, runnable bool) {
+	if !runnable {
+		return
+	}
+	c.mu.Lock()
+	c.rejects[cellIdx]++
+	n := c.rejects[cellIdx]
+	if n >= quarantineRejects {
+		c.rejects[cellIdx] = 0
+	}
+	c.mu.Unlock()
+	if n < quarantineRejects {
+		return
+	}
+	if c.queue.Requeue(slot) {
+		c.warnf("cell %s: %d consecutive rejected uploads; revoking its lease for re-dispatch\n",
+			c.cells[cellIdx].Name(), n)
+	}
 }
 
 // mergeGroupLocked merges group g's replicas in replica order (the
@@ -384,17 +479,29 @@ func (c *Coordinator) groupResultLocked(g int) core.GroupResult {
 // Snapshot returns the live Progress view.
 func (c *Coordinator) Snapshot() Progress {
 	pending, leased, _ := c.queue.Counts()
+	expired, redispatched := c.queue.Stats()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	p := Progress{
-		TotalCells:    len(c.cells),
-		SelectedCells: c.selected,
-		DoneCells:     c.doneCells,
-		LeasedCells:   leased,
-		PendingCells:  pending,
-		ReusedCells:   c.reused,
-		Complete:      c.doneCells == c.selected && c.mergedN == c.expectedN,
+		TotalCells:         len(c.cells),
+		SelectedCells:      c.selected,
+		DoneCells:          c.doneCells,
+		LeasedCells:        leased,
+		PendingCells:       pending,
+		ReusedCells:        c.reused,
+		RecoveredCells:     c.recovered,
+		ExpiredLeases:      expired,
+		RedispatchedLeases: redispatched,
+		Complete:           c.doneCells == c.selected && c.mergedN == c.expectedN,
 	}
+	now := c.now()
+	for name, seen := range c.workers {
+		p.Workers = append(p.Workers, WorkerProgress{
+			Name:             name,
+			SecondsSinceSeen: now.Sub(seen).Seconds(),
+		})
+	}
+	sort.Slice(p.Workers, func(i, j int) bool { return p.Workers[i].Name < p.Workers[j].Name })
 	for g := 0; g < c.sweep.NumGroups(); g++ {
 		idxs := c.sweep.GroupCells(g)
 		gp := GroupProgress{

@@ -76,17 +76,40 @@ type CompleteResponse struct {
 }
 
 // Progress is the /progress payload: live sweep-wide and per-group
-// completion, the view a fleet operator polls at scale.
+// completion, the view a fleet operator polls at scale. The lease-
+// health counters and per-worker contact ages are what make a stalled
+// fleet diagnosable from one poll: expiries climbing with done flat
+// means workers are dying mid-cell, a worker whose contact age dwarfs
+// the lease TTL is gone, and redispatches say how much work the fleet
+// recomputed.
 type Progress struct {
-	TotalCells    int  `json:"totalCells"`
-	SelectedCells int  `json:"selectedCells"`
-	DoneCells     int  `json:"doneCells"`
-	LeasedCells   int  `json:"leasedCells"`
-	PendingCells  int  `json:"pendingCells"`
-	ReusedCells   int  `json:"reusedCells"`
-	Complete      bool `json:"complete"`
+	TotalCells    int `json:"totalCells"`
+	SelectedCells int `json:"selectedCells"`
+	DoneCells     int `json:"doneCells"`
+	LeasedCells   int `json:"leasedCells"`
+	PendingCells  int `json:"pendingCells"`
+	ReusedCells   int `json:"reusedCells"`
+	// RecoveredCells counts cells satisfied from snapshots a previous
+	// coordinator incarnation persisted to OutDir before it crashed.
+	RecoveredCells int `json:"recoveredCells"`
+	// ExpiredLeases counts leases revoked past their deadline;
+	// RedispatchedLeases counts grants that handed out a cell some
+	// earlier lease had already held.
+	ExpiredLeases      int64 `json:"expiredLeases"`
+	RedispatchedLeases int64 `json:"redispatchedLeases"`
+	Complete           bool  `json:"complete"`
+	// Workers lists every worker that ever contacted the coordinator,
+	// sorted by name, with its seconds-since-last-contact.
+	Workers []WorkerProgress `json:"workers,omitempty"`
 	// Groups lists every grid point in expansion order.
 	Groups []GroupProgress `json:"groups"`
+}
+
+// WorkerProgress is one worker's liveness view: how long ago it last
+// leased, renewed, or delivered anything.
+type WorkerProgress struct {
+	Name             string  `json:"name"`
+	SecondsSinceSeen float64 `json:"secondsSinceSeen"`
 }
 
 // GroupProgress is one grid point's completion state.

@@ -78,8 +78,15 @@ type LeaseQueue struct {
 	fifo   []int            // pending item indices, FIFO; may hold stale (non-pending) entries
 	leases map[uint64]Lease // live (possibly expired, not yet revoked) leases by ID
 	holder []uint64         // item → lease ID currently holding it (0 = none)
+	ever   []bool           // item → has been leased at least once
 	nextID uint64
 	done   int
+
+	// Fleet-health counters (see Stats): leases revoked past their
+	// deadline, and grants of items that had already been leased before
+	// (straggler or quarantine re-dispatches).
+	expired      int64
+	redispatched int64
 }
 
 // NewLeaseQueue builds a queue over items 0..n-1. ttl <= 0 selects
@@ -98,6 +105,7 @@ func NewLeaseQueue(n int, ttl time.Duration, now func() time.Time) *LeaseQueue {
 		fifo:   make([]int, 0, n),
 		leases: make(map[uint64]Lease),
 		holder: make([]uint64, n),
+		ever:   make([]bool, n),
 	}
 	for i := 0; i < n; i++ {
 		q.fifo = append(q.fifo, i)
@@ -148,6 +156,7 @@ func (q *LeaseQueue) Grant(worker string) (Lease, GrantStatus) {
 	}
 	if expired >= 0 {
 		delete(q.leases, q.holder[expired])
+		q.expired++
 		return q.grant(expired, worker), Granted
 	}
 	if q.done == len(q.state) {
@@ -159,6 +168,10 @@ func (q *LeaseQueue) Grant(worker string) (Lease, GrantStatus) {
 // grant records a lease on item; callers hold q.mu and guarantee the
 // item is not done and not held by a live lease.
 func (q *LeaseQueue) grant(item int, worker string) Lease {
+	if q.ever[item] {
+		q.redispatched++
+	}
+	q.ever[item] = true
 	q.nextID++
 	l := Lease{
 		ID:      q.nextID,
@@ -188,6 +201,7 @@ func (q *LeaseQueue) Renew(id uint64) (Lease, error) {
 	}
 	if !l.Expires.After(q.now()) {
 		delete(q.leases, id)
+		q.expired++
 		if q.state[l.Item] == itemLeased && q.holder[l.Item] == id {
 			q.state[l.Item] = itemPending
 			q.holder[l.Item] = 0
@@ -225,6 +239,38 @@ func (q *LeaseQueue) complete(item int) bool {
 	q.state[item] = itemDone
 	q.done++
 	return true
+}
+
+// Requeue forcibly revokes whatever lease holds item and returns it to
+// the back of the pending queue — the quarantine escape hatch for a
+// cell whose current holder keeps delivering rejected payloads while
+// dutifully heartbeating (expiry alone would never free it). It
+// reports false for done or out-of-range items, which are left alone.
+func (q *LeaseQueue) Requeue(item int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if item < 0 || item >= len(q.state) || q.state[item] == itemDone {
+		return false
+	}
+	if id := q.holder[item]; id != 0 {
+		delete(q.leases, id)
+		q.holder[item] = 0
+	}
+	if q.state[item] == itemLeased {
+		q.state[item] = itemPending
+		q.fifo = append(q.fifo, item)
+	}
+	return true
+}
+
+// Stats returns the fleet-health counters: leases revoked past their
+// deadline (by the re-dispatch scan or a late renewal) and grants of
+// items that had been leased before — each re-dispatch means some
+// worker's work was, or will be, recomputed elsewhere.
+func (q *LeaseQueue) Stats() (expired, redispatched int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.expired, q.redispatched
 }
 
 // Counts returns the queue's population by state: items waiting, items

@@ -11,9 +11,21 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+)
+
+// Worker retry policy: transient failures (a coordinator restarting
+// mid-sweep, a flaky proxy in between) are retried with exponential
+// backoff from retryBase, capped at retryCap, for at most
+// retryAttempts tries per request. The same cap bounds the idle
+// wait-loop's growth between lease asks.
+const (
+	retryBase     = 250 * time.Millisecond
+	retryCap      = 30 * time.Second
+	retryAttempts = 8
 )
 
 // Worker is the fleet client: it fetches the coordinator's manifest,
@@ -27,6 +39,11 @@ type Worker struct {
 	name   string
 	client *http.Client
 	logf   func(format string, args ...any)
+	// jstate is the worker's private splitmix64 jitter stream, seeded
+	// from its name: retry delays are deterministic per named worker
+	// (replayable tests) while distinct workers de-synchronize instead
+	// of stampeding a recovering coordinator in lockstep.
+	jstate atomic.Uint64
 
 	// Fault-injection hooks, exercised by the coordinator's tests: a
 	// worker that dies mid-cell, delivers twice, or never heartbeats.
@@ -88,7 +105,42 @@ func NewWorker(url string, opts ...WorkerOption) *Worker {
 	for _, o := range opts {
 		o(w)
 	}
+	// FNV-1a of the (option-final) name seeds the jitter stream.
+	seed := uint64(14695981039346656037)
+	for i := 0; i < len(w.name); i++ {
+		seed ^= uint64(w.name[i])
+		seed *= 1099511628211
+	}
+	w.jstate.Store(seed)
 	return w
+}
+
+// jitter scales d by a factor in [0.75, 1.25) drawn from the worker's
+// jitter stream (splitmix64: an atomic add, then a local mix).
+func (w *Worker) jitter(d time.Duration) time.Duration {
+	z := w.jstate.Add(0x9E3779B97F4A7C15)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	u := float64(z>>11) / (1 << 53)
+	return time.Duration(float64(d) * (0.75 + 0.5*u))
+}
+
+// waitBackoff doubles the coordinator's retry hint once per
+// consecutive wait, capped at retryCap: near the end of a sweep every
+// idle worker polls for the few in-flight cells, and without backoff
+// that tail is a thundering herd.
+func waitBackoff(hint time.Duration, waits int) time.Duration {
+	d := hint
+	for i := 0; i < waits && d < retryCap; i++ {
+		d *= 2
+	}
+	if d > retryCap {
+		d = retryCap
+	}
+	return d
 }
 
 func (w *Worker) log(format string, args ...any) {
@@ -115,13 +167,15 @@ func (w *Worker) Run(ctx context.Context) error {
 	cells := sweep.Cells()
 	arena := core.NewArena()
 
+	waits := 0
 	for {
 		lease, err := w.lease(ctx)
 		if err != nil {
 			// The coordinator exits the moment the sweep drains, so a
 			// worker mid-poll races its shutdown; a vanished coordinator
-			// is the normal end of a fleet's life, not a worker failure.
-			if isTransportErr(err) {
+			// — still gone after the transient-retry budget — is the
+			// normal end of a fleet's life, not a worker failure.
+			if isUnreachableErr(err) {
 				w.log("%s: coordinator gone (%v); exiting\n", w.name, err)
 				return nil
 			}
@@ -132,10 +186,15 @@ func (w *Worker) Run(ctx context.Context) error {
 			w.log("%s: sweep drained, exiting\n", w.name)
 			return nil
 		case StatusWait:
+			// Honor the coordinator's hint on the first ask, then back
+			// off exponentially (capped, jittered) while consecutive
+			// waits pile up.
 			retry := time.Duration(lease.RetryMillis) * time.Millisecond
 			if retry <= 0 {
 				retry = time.Second
 			}
+			retry = w.jitter(waitBackoff(retry, waits))
+			waits++
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
@@ -143,6 +202,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			continue
 		}
+		waits = 0
 		if lease.Cell < 0 || lease.Cell >= len(cells) {
 			return fmt.Errorf("coord: leased cell index %d outside local grid of %d cells", lease.Cell, len(cells))
 		}
@@ -189,12 +249,16 @@ func (w *Worker) runCell(ctx context.Context, arena *core.Arena, sweep *core.Swe
 		uploads = 2
 	}
 	for i := 0; i < uploads; i++ {
-		dup, err := w.upload(ctx, cell, payload, wall)
+		var dup bool
+		err := w.retryTransient(ctx, "upload of "+cell.Name(), func() (err error) {
+			dup, err = w.upload(ctx, cell, payload, wall)
+			return err
+		})
 		if err != nil {
 			// A straggler's late delivery can land after the re-dispatched
 			// copy completed the sweep and the coordinator shut down; its
 			// result was redundant by construction, so exit cleanly.
-			if isTransportErr(err) {
+			if isUnreachableErr(err) {
 				w.log("%s: coordinator gone before upload of %s (%v); exiting\n", w.name, cell.Name(), err)
 				return true, nil
 			}
@@ -204,6 +268,17 @@ func (w *Worker) runCell(ctx context.Context, arena *core.Arena, sweep *core.Swe
 	}
 	return false, nil
 }
+
+// httpStatusError is a non-200 reply carried typed, so retry logic can
+// distinguish transient coordinator-side trouble (a 5xx from the
+// coordinator or an intermediate proxy) from deliberate rejections (a
+// 400 bad snapshot, a 410 revoked lease).
+type httpStatusError struct {
+	code int
+	msg  string
+}
+
+func (e *httpStatusError) Error() string { return e.msg }
 
 // isTransportErr reports whether err is a network-level failure (as
 // opposed to an HTTP-level rejection, which arrives as a status code):
@@ -216,10 +291,64 @@ func isTransportErr(err error) bool {
 	return errors.As(err, &ue)
 }
 
+// isTransientErr reports whether err is worth retrying with backoff: a
+// transport failure or a 5xx reply. 4xx rejections are final.
+func isTransientErr(err error) bool {
+	var he *httpStatusError
+	if errors.As(err, &he) {
+		return he.code >= 500
+	}
+	return isTransportErr(err)
+}
+
+// isUnreachableErr reports whether err means the coordinator could not
+// be reached at all: a transport failure, or a gateway status from a
+// proxy fronting a dead backend (502/503/504). The coordinator's own
+// handlers never emit 5xx, so a gateway status is an intermediary
+// talking, not the coordinator — behind a proxy, "coordinator gone"
+// arrives as a 502 rather than a connection refusal.
+func isUnreachableErr(err error) bool {
+	var he *httpStatusError
+	if errors.As(err, &he) {
+		return he.code == http.StatusBadGateway ||
+			he.code == http.StatusServiceUnavailable ||
+			he.code == http.StatusGatewayTimeout
+	}
+	return isTransportErr(err)
+}
+
+// retryTransient runs fn up to retryAttempts times, sleeping a
+// jittered, exponentially growing, capped delay between attempts while
+// failures stay transient. The terminal error is returned unchanged,
+// so callers keep their isUnreachableErr semantics for a coordinator
+// that is genuinely gone rather than momentarily unreachable.
+func (w *Worker) retryTransient(ctx context.Context, what string, fn func() error) error {
+	delay := retryBase
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if err == nil || !isTransientErr(err) || attempt == retryAttempts-1 {
+			return err
+		}
+		d := w.jitter(delay)
+		w.log("%s: %s failed (%v); retrying in %v\n", w.name, what, err, d.Round(time.Millisecond))
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(d):
+		}
+		if delay *= 2; delay > retryCap {
+			delay = retryCap
+		}
+	}
+}
+
 // startHeartbeats renews the lease every TTL/3 until the returned stop
-// function is called. A failed renewal (410: expired or revoked) stops
-// renewing but does not interrupt the cell — the result is still
-// correct and delivery is idempotent, so the worker uploads anyway.
+// function is called. A transient failure (5xx, connection error — a
+// coordinator restarting or a flaky proxy) keeps the loop ticking: the
+// lease may well still be live, and the next tick retries. A rejected
+// renewal (410: expired or revoked) stops renewing but does not
+// interrupt the cell — the result is still correct and delivery is
+// idempotent, so the worker uploads anyway.
 func (w *Worker) startHeartbeats(ctx context.Context, lease LeaseResponse) (stop func()) {
 	if w.noHeartbeat {
 		return func() {}
@@ -244,9 +373,14 @@ func (w *Worker) startHeartbeats(ctx context.Context, lease LeaseResponse) (stop
 			var resp RenewResponse
 			err := w.postJSON(hbCtx, PathRenew, RenewRequest{Lease: lease.Lease}, &resp)
 			if err != nil {
-				if hbCtx.Err() == nil {
-					w.log("%s: heartbeat for lease %d failed (%v); continuing without it\n", w.name, lease.Lease, err)
+				if hbCtx.Err() != nil {
+					return
 				}
+				if isTransientErr(err) {
+					w.log("%s: heartbeat for lease %d failed (%v); will retry next tick\n", w.name, lease.Lease, err)
+					continue
+				}
+				w.log("%s: heartbeat for lease %d rejected (%v); continuing without it\n", w.name, lease.Lease, err)
 				return
 			}
 		}
@@ -285,6 +419,12 @@ func (w *Worker) fetchManifest(ctx context.Context) (*core.SweepManifest, error)
 			lastErr = err
 			continue
 		}
+		if resp.StatusCode >= 500 {
+			// A proxy fronting a coordinator that has not come up yet;
+			// keep trying alongside connection failures.
+			lastErr = fmt.Errorf("coord: manifest fetch: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+			continue
+		}
 		if resp.StatusCode != http.StatusOK {
 			return nil, fmt.Errorf("coord: manifest fetch: %s: %s", resp.Status, strings.TrimSpace(string(body)))
 		}
@@ -297,10 +437,14 @@ func (w *Worker) fetchManifest(ctx context.Context) (*core.SweepManifest, error)
 	return nil, fmt.Errorf("coord: coordinator unreachable at %s: %w", w.base, lastErr)
 }
 
-// lease POSTs a lease request.
+// lease POSTs a lease request, riding out transient failures.
 func (w *Worker) lease(ctx context.Context) (LeaseResponse, error) {
 	var resp LeaseResponse
-	if err := w.postJSON(ctx, PathLease, LeaseRequest{Worker: w.name}, &resp); err != nil {
+	err := w.retryTransient(ctx, "lease request", func() error {
+		resp = LeaseResponse{}
+		return w.postJSON(ctx, PathLease, LeaseRequest{Worker: w.name}, &resp)
+	})
+	if err != nil {
 		return LeaseResponse{}, err
 	}
 	return resp, nil
@@ -324,7 +468,8 @@ func (w *Worker) upload(ctx context.Context, cell core.Cell, payload []byte, wal
 		return false, readErr
 	}
 	if resp.StatusCode != http.StatusOK {
-		return false, fmt.Errorf("coord: uploading cell %s: %s: %s", cell.Name(), resp.Status, strings.TrimSpace(string(body)))
+		return false, &httpStatusError{code: resp.StatusCode,
+			msg: fmt.Sprintf("coord: uploading cell %s: %s: %s", cell.Name(), resp.Status, strings.TrimSpace(string(body)))}
 	}
 	var cr CompleteResponse
 	if err := json.Unmarshal(body, &cr); err != nil {
@@ -354,7 +499,8 @@ func (w *Worker) postJSON(ctx context.Context, path string, v, out any) error {
 		return readErr
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("coord: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(data)))
+		return &httpStatusError{code: resp.StatusCode,
+			msg: fmt.Sprintf("coord: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(data)))}
 	}
 	return json.Unmarshal(data, out)
 }

@@ -162,6 +162,7 @@ func (a *Arena) run(cfg Config, retain bool) (*Result, error) {
 	c.seed()
 	c.loop()
 	c.finishWorkload()
+	c.finishScenario()
 	agg.Flush()
 	return res, nil
 }

@@ -72,6 +72,10 @@ type campaign struct {
 	// per-frame scratch); dormant unless cfg.Workload is enabled.
 	wl workloadState
 
+	// sc is the scripted-failure slab (compiled actions, outage
+	// watches); dormant unless cfg.Scenario is enabled.
+	sc scenarioState
+
 	res *Result
 }
 
@@ -116,9 +120,14 @@ func (c *campaign) seed() {
 	// would. SnapshotInto honors configured hysteresis.
 	c.sel.SnapshotInto(&c.tables)
 	// Workload seeding comes last so its RNG draws and sequence numbers
-	// extend — never perturb — the probe/measure seeding above.
+	// extend — never perturb — the probe/measure seeding above; scenario
+	// seeding extends the workload's in turn (and draws no campaign RNG
+	// at all).
 	if c.cfg.Workload.Enabled() {
 		c.seedWorkload()
+	}
+	if c.cfg.Scenario.Enabled() {
+		c.seedScenario()
 	}
 }
 
@@ -176,6 +185,8 @@ func (c *campaign) loop() {
 			case evWorkloadFrame:
 				c.workloadFrame(e.t, int(e.a))
 				c.queue.push(event{t: e.t + c.wl.interval, kind: evWorkloadFrame, a: e.a})
+			case evScenario:
+				c.scenarioEvent(e.t, int(e.a), e.k)
 			}
 		}
 		qt, qSeq, qOK = c.queue.peek()

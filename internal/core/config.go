@@ -127,6 +127,12 @@ type Config struct {
 	// (Streams == 0, the default) campaigns run bit-identically to
 	// pre-workload builds: no extra events, RNG draws, or packet keys.
 	Workload WorkloadConfig
+
+	// Scenario selects a scripted failure scenario (scheduled outages,
+	// failure storms, link flapping, maintenance windows) replayed
+	// deterministically over the campaign. Disabled (the default)
+	// campaigns run bit-identically to pre-scenario builds.
+	Scenario ScenarioConfig
 }
 
 // DefaultConfig returns the paper-faithful configuration for a dataset at
@@ -201,6 +207,9 @@ func (c Config) validate(methods []route.Method) error {
 		}
 	}
 	if err := c.Workload.validate(); err != nil {
+		return err
+	}
+	if err := c.Scenario.validate(); err != nil {
 		return err
 	}
 	return nil

@@ -23,6 +23,10 @@ const (
 	// evWorkloadFrame is one application frame of a workload stream
 	// (a carries the stream index).
 	evWorkloadFrame
+	// evScenario is one scripted-failure firing: a fault action or a
+	// recovery probe, discriminated by k (a carries the action or watch
+	// index).
+	evScenario
 )
 
 // event is one scheduled campaign action. a/b carry kind-specific host

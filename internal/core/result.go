@@ -141,5 +141,9 @@ func (r *Result) Report() string {
 		fmt.Fprintf(&b, "\nWorkload (delivered application frames)\n%s",
 			analysis.RenderWorkloadTable(ws))
 	}
+	if rs := r.Agg.Resilience(); rs != nil && rs.HasData() {
+		fmt.Fprintf(&b, "\nResilience (recovery from injected outages)\n%s",
+			analysis.RenderResilienceTable(rs))
+	}
 	return b.String()
 }

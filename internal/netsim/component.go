@@ -330,26 +330,38 @@ func (c *Component) Stats() (bursts, outages, episodes int64) {
 // outage process resumes. It is a testing/fault-injection hook; the time
 // must not precede queries already served (components evolve forward
 // only).
+// A forced outage overlapping an in-progress natural outage extends it
+// when the forced window ends later, and otherwise leaves the natural
+// recovery time alone — injection must never shorten downtime the
+// stochastic process already committed to, and the overlap counts as
+// one outage, not two.
 func (c *Component) ForceDown(from Time, duration Time) {
 	c.advance(from)
+	until := from + duration
 	if !c.down {
 		c.down = true
 		c.outages++
+		c.nextOutage = until
+	} else if until > c.nextOutage {
+		c.nextOutage = until
 	}
-	c.nextOutage = from + duration
 	c.refreshNextAny()
 }
 
 // ForceCongestion injects a deterministic loss burst with the given drop
 // severity from time from for the given duration. Like ForceDown it must
 // not precede already-served queries.
+// Like ForceDown, a forced burst never shortens an in-progress episode.
 func (c *Component) ForceCongestion(from Time, duration Time, severity float64) {
 	c.advance(from)
+	until := from + duration
 	if !c.congested {
 		c.congested = true
 		c.bursts++
+		c.nextCong = until
+	} else if until > c.nextCong {
+		c.nextCong = until
 	}
 	c.severity = severity
-	c.nextCong = from + duration
 	c.refreshNextAny()
 }

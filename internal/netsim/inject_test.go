@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/topo"
 )
@@ -60,6 +61,101 @@ func TestForceDownInjectsOutage(t *testing.T) {
 	}
 	if !healed {
 		t.Error("path did not heal after the forced outage ended")
+	}
+}
+
+// TestForceDownOverlapNaturalOutage pins the interaction between
+// injected and stochastic outages: a forced outage overlapping an
+// in-progress natural one must neither double-count it nor shorten it,
+// a longer forced window extends the downtime, and a forced window
+// spanning a time where the natural process would have drawn its own
+// outage yields one counted outage, not two. Same-seed twin components
+// make the natural timeline observable: scanning one reveals exactly
+// when the others go down and recover, because outage evolution is
+// time-driven, not query-driven.
+func TestForceDownOverlapNaturalOutage(t *testing.T) {
+	params := testParams()
+	params.MeanUp = 30 * time.Second
+	params.MeanDown = 10 * time.Second
+	const seed = 21
+	step := 100 * Millisecond
+
+	// Scan the reference twin for two natural outage windows, requiring
+	// the first to be wide enough to force inside and the gap between
+	// them wide enough to force from an up state.
+	ref := newTestComponent(seed, params)
+	var windows [][2]Time
+	var downAt Time
+	down := false
+	for at := Time(0); at < Time(30*Minute) && len(windows) < 2; at += step {
+		d, _, _ := ref.Probe(at)
+		if d && !down {
+			down, downAt = true, at
+		}
+		if !d && down {
+			down = false
+			if at-downAt >= 2*Second && (len(windows) == 0 || downAt-windows[0][1] >= 2*Second) {
+				windows = append(windows, [2]Time{downAt, at})
+			} else {
+				windows = windows[:0] // unusable geometry; keep scanning
+			}
+		}
+	}
+	if len(windows) < 2 {
+		t.Fatal("no usable natural outage windows in 30 virtual minutes")
+	}
+	tDown, tUp := windows[0][0], windows[0][1]
+	tDown2, tUp2 := windows[1][0], windows[1][1]
+
+	// A short forced outage inside a natural one: no double count, no
+	// shortened downtime — the component recovers exactly when its
+	// unperturbed twin does.
+	b := newTestComponent(seed, params)
+	mid := tDown + (tUp-tDown)/2
+	if d, _, _ := b.Probe(mid); !d {
+		t.Fatal("same-seed twin not down mid-outage")
+	}
+	_, out0, _ := b.Stats()
+	b.ForceDown(mid, step)
+	if _, out1, _ := b.Stats(); out1 != out0 {
+		t.Errorf("forcing during an outage double-counted: %d -> %d", out0, out1)
+	}
+	if d, _, _ := b.Probe(tUp - step); !d {
+		t.Error("short forced overlap cut the natural outage short")
+	}
+	if d, _, _ := b.Probe(tUp + step); d {
+		t.Error("twin still down after the natural recovery time")
+	}
+
+	// A forced outage outlasting the natural one extends the downtime to
+	// the forced end.
+	c := newTestComponent(seed, params)
+	c.Probe(mid)
+	ext := (tUp - mid) + 5*Second
+	c.ForceDown(mid, ext)
+	if d, _, _ := c.Probe(tUp + step); !d {
+		t.Error("forced extension ignored: up at the natural recovery time")
+	}
+	if d, _, _ := c.Probe(mid + ext + step); d {
+		t.Error("still down after the extended forced window")
+	}
+
+	// A forced window that spans the next natural outage draw absorbs
+	// it: one counted outage for the whole window.
+	d := newTestComponent(seed, params)
+	tF := tUp + (tDown2-tUp)/2
+	if dn, _, _ := d.Probe(tF); dn {
+		t.Fatal("twin unexpectedly down between natural outages")
+	}
+	_, outB, _ := d.Stats()
+	until := tUp2 + 2*Second
+	d.ForceDown(tF, until-tF)
+	if dn, _, _ := d.Probe(until - step); !dn {
+		t.Error("forced window not in effect through the spanned natural outage")
+	}
+	d.Probe(until + step)
+	if _, outA, _ := d.Stats(); outA-outB != 1 {
+		t.Errorf("forced window spanning a natural outage draw counted %d outages, want 1", outA-outB)
 	}
 }
 

@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Built-in failure scripts, addressable by name. The scenario sweep
+// axis persists only the preset name in manifests and snapshots, so a
+// preset's Spec must stay stable once results referencing it exist —
+// add new presets instead of editing old ones.
+var presets = map[string]*Spec{
+	// outage: two isolated scheduled failures — a backbone cut (the
+	// overlay can route around it) and an access cut (it cannot).
+	"outage": {
+		Name: "outage",
+		Outages: []OutageEvent{
+			{Start: 0.25, Duration: 8 * time.Minute, Target: Backbone, Host: 0, Peer: 1},
+			{Start: 0.65, Duration: 4 * time.Minute, Target: Access, Host: 2},
+		},
+	},
+	// storm: one correlated failure burst taking four access complexes
+	// down with staggered onsets — shared-fate failure of an upstream.
+	"storm": {
+		Name: "storm",
+		Storms: []Storm{
+			{Start: 0.4, Spread: 2 * time.Minute, Count: 4,
+				MinDown: 3 * time.Minute, MaxDown: 8 * time.Minute},
+		},
+	},
+	// flap: a backbone segment cycling down 45 s out of every 4 min for
+	// the middle 40% of the campaign.
+	"flap": {
+		Name: "flap",
+		Flaps: []Flap{
+			{Start: 0.2, End: 0.6, Period: 4 * time.Minute, Down: 45 * time.Second,
+				Target: Backbone, Host: 0, Peer: 1},
+		},
+	},
+	// maint: a planned maintenance window — congestion drain, a
+	// 12-minute access outage, congestion restore.
+	"maint": {
+		Name: "maint",
+		Windows: []Window{
+			{Start: 0.5, Duration: 12 * time.Minute, Host: 1, Drain: 90 * time.Second},
+		},
+	},
+}
+
+// Preset returns the named built-in failure script.
+func Preset(name string) (*Spec, bool) {
+	s, ok := presets[name]
+	return s, ok
+}
+
+// Names returns the built-in preset names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(presets))
+	for n := range presets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MustPreset is Preset for callers that have already validated the
+// name (the axis layer); it panics on an unknown preset.
+func MustPreset(name string) *Spec {
+	s, ok := presets[name]
+	if !ok {
+		panic(fmt.Sprintf("scenario: unknown preset %q", name))
+	}
+	return s
+}
