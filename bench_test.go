@@ -23,6 +23,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/fec"
 	"repro/internal/netsim"
+	"repro/internal/resultstore"
 	"repro/internal/route"
 	"repro/internal/topo"
 	"repro/internal/wire"
@@ -630,6 +631,63 @@ func BenchmarkAggregatorObserve(b *testing.B) {
 			Lost:   [2]bool{i%97 == 0, i%53 == 0},
 			Lat:    [2]time.Duration{50 * time.Millisecond, 60 * time.Millisecond},
 		})
+	}
+}
+
+// BenchmarkStoreAppend measures the result store's steady-state append:
+// a representative row (the metric width of a workload+resilience cell)
+// written to an already-warm segment whose column dictionary knows every
+// column. One framed write(2), zero allocations — the property benchguard
+// gates, since the coordinator appends on its completion path.
+func BenchmarkStoreAppend(b *testing.B) {
+	st, err := resultstore.Open(resultstore.SegmentPath(b.TempDir()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	row := &resultstore.Row{
+		Kind: resultstore.KindCell, Name: "ronnarrow-scoutage-s2-r00",
+		Group: "ronnarrow-scoutage-s2", Dataset: "ronnarrow",
+		Replicas: 1, Hosts: 12, Seed: 42, Days: benchDays,
+		RONProbes: 2_000_000, MeasureProbes: 60_000, RouteChanges: 400,
+		Snapshot: "cells/ronnarrow-scoutage-s2-r00.snap",
+		Axes: []resultstore.AxisKV{
+			{Key: "scenario", Value: "outage"}, {Key: "streams", Value: "2"},
+		},
+	}
+	methods := []string{"direct", "loss", "direct rand", "lat loss"}
+	for _, m := range methods {
+		for _, f := range []string{"order", "probes", "1lp", "2lp", "totlp", "clp", "latns", "pair"} {
+			row.Metrics = append(row.Metrics, resultstore.Metric{Col: "t5." + m + "." + f, Val: 0.01})
+		}
+		for _, f := range []string{"order", "periods", "gt0.1", "gt0.2", "gt0.3"} {
+			row.Metrics = append(row.Metrics, resultstore.Metric{Col: "t6." + m + "." + f, Val: 3})
+		}
+		for _, f := range []string{"p50", "p95", "mean"} {
+			row.Metrics = append(row.Metrics, resultstore.Metric{Col: "win20." + m + "." + f, Val: 0.002})
+		}
+	}
+	for _, c := range []string{"t5.rtt", "t6.worsthour", "wl.k", "wl.m", "wl.paths",
+		"wl.reconfail", "wl.overhead", "rs.outages"} {
+		row.Metrics = append(row.Metrics, resultstore.Metric{Col: c, Val: 1})
+	}
+	for _, v := range []string{"bp", "mp"} {
+		for _, f := range []string{"frames", "losspct", "shardpct", "latns", "p95latms", "strm50pct"} {
+			row.Metrics = append(row.Metrics, resultstore.Metric{Col: "wl." + v + "." + f, Val: 2.5})
+		}
+		for _, f := range []string{"probes", "availpct", "maskedpct", "ttrns", "p95ttrs"} {
+			row.Metrics = append(row.Metrics, resultstore.Metric{Col: "rs." + v + "." + f, Val: 97.5})
+		}
+	}
+	if err := st.Append(row); err != nil { // warm the dictionary and buffer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Append(row); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,11 +1,13 @@
 // Command flakyproxy is a deliberately unreliable HTTP reverse proxy
 // for chaos-testing the coordinator/worker fleet: it forwards requests
 // to -target except every -fail-every'th one, which is answered with a
-// 503 before reaching the backend. A dead or restarting backend shows
-// through as 502s. Workers pointed at the proxy must ride out both
-// with their transient-retry backoff, and the sweep output must still
-// come out byte-identical to an unproxied run — which is exactly what
-// the chaos-e2e CI job asserts.
+// 503 before reaching the backend — or, with -drop, has its connection
+// severed mid-request with no response bytes at all, the way a crashed
+// middlebox fails. A dead or restarting backend shows through as 502s.
+// Workers pointed at the proxy must ride out all three with their
+// transient-retry backoff, and the sweep output must still come out
+// byte-identical to an unproxied run — which is exactly what the
+// chaos-e2e CI job asserts.
 package main
 
 import (
@@ -20,11 +22,42 @@ import (
 	"sync/atomic"
 )
 
+// newHandler builds the fault-injecting proxy handler. Every
+// failEvery'th request (0 disables injection) is failed before it
+// reaches the backend: answered 503, or, in drop mode, its underlying
+// connection hijacked and closed without writing a byte.
+func newHandler(target *url.URL, failEvery int, drop bool, logf func(string, ...any)) http.Handler {
+	rp := httputil.NewSingleHostReverseProxy(target)
+	var n atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if k := int64(failEvery); k > 0 && n.Add(1)%k == 0 {
+			if drop {
+				logf("flakyproxy: dropping connection for %s %s", r.Method, r.URL.Path)
+				if hj, ok := w.(http.Hijacker); ok {
+					if conn, _, err := hj.Hijack(); err == nil {
+						conn.Close()
+						return
+					}
+				}
+				// No hijackable connection (e.g. HTTP/2): abort the
+				// response instead, which still reaches the client as a
+				// transport error rather than an HTTP status.
+				panic(http.ErrAbortHandler)
+			}
+			logf("flakyproxy: injecting 503 for %s %s", r.Method, r.URL.Path)
+			http.Error(w, "flakyproxy: injected fault", http.StatusServiceUnavailable)
+			return
+		}
+		rp.ServeHTTP(w, r)
+	})
+}
+
 func main() {
 	log.SetFlags(0)
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
 	target := flag.String("target", "", "backend to proxy to (host:port; scheme optional)")
-	failEvery := flag.Int("fail-every", 3, "answer every Nth request with a 503 instead of proxying (0 disables fault injection)")
+	failEvery := flag.Int("fail-every", 3, "fail every Nth request instead of proxying it (0 disables fault injection)")
+	drop := flag.Bool("drop", false, "sever the connection on injected faults instead of answering 503")
 	flag.Parse()
 	if *target == "" {
 		fmt.Fprintln(os.Stderr, "flakyproxy: -target is required")
@@ -38,16 +71,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("flakyproxy: parsing -target: %v", err)
 	}
-	rp := httputil.NewSingleHostReverseProxy(u)
-	var n atomic.Int64
-	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if k := int64(*failEvery); k > 0 && n.Add(1)%k == 0 {
-			log.Printf("flakyproxy: injecting 503 for %s %s", r.Method, r.URL.Path)
-			http.Error(w, "flakyproxy: injected fault", http.StatusServiceUnavailable)
-			return
-		}
-		rp.ServeHTTP(w, r)
-	})
-	log.Printf("flakyproxy: %s -> %s, failing every %d requests", *listen, u, *failEvery)
-	log.Fatal(http.ListenAndServe(*listen, handler))
+	mode := "503"
+	if *drop {
+		mode = "dropped connection"
+	}
+	log.Printf("flakyproxy: %s -> %s, failing every %d requests (%s)", *listen, u, *failEvery, mode)
+	log.Fatal(http.ListenAndServe(*listen, newHandler(u, *failEvery, *drop, log.Printf)))
 }

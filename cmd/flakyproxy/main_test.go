@@ -1,0 +1,94 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+)
+
+// newProxy stands up a backend plus a flakyproxy in front of it and
+// returns a client that cannot hide drop-mode faults behind Go's
+// automatic idempotent-GET retry on reused connections.
+func newProxy(t *testing.T, failEvery int, drop bool) (*httptest.Server, *http.Client) {
+	t.Helper()
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(backend.Close)
+	u, err := url.Parse(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httptest.NewServer(newHandler(u, failEvery, drop, t.Logf))
+	t.Cleanup(proxy.Close)
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	return proxy, client
+}
+
+func TestFailEvery503(t *testing.T) {
+	proxy, client := newProxy(t, 3, false)
+	var codes []int
+	for i := 0; i < 6; i++ {
+		resp, err := client.Get(proxy.URL)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+		if resp.StatusCode == http.StatusOK && string(body) != "ok" {
+			t.Fatalf("request %d: proxied body %q, want %q", i, body, "ok")
+		}
+	}
+	want := []int{200, 200, 503, 200, 200, 503}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("status sequence %v, want %v", codes, want)
+		}
+	}
+}
+
+func TestDropSeversConnection(t *testing.T) {
+	proxy, client := newProxy(t, 3, true)
+	for i := 1; i <= 6; i++ {
+		resp, err := client.Get(proxy.URL)
+		if i%3 == 0 {
+			// The dropped request must surface as a transport error —
+			// no status, no body — not as any HTTP response.
+			if err == nil {
+				resp.Body.Close()
+				t.Fatalf("request %d: got HTTP %d, want severed connection", i, resp.StatusCode)
+			}
+			var uerr *url.Error
+			if !errors.As(err, &uerr) {
+				t.Fatalf("request %d: error %v, want a transport-level url.Error", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || string(body) != "ok" {
+			t.Fatalf("request %d: got %d %q, want 200 ok", i, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestZeroDisablesInjection(t *testing.T) {
+	proxy, client := newProxy(t, 0, true)
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get(proxy.URL)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, want 200", i, resp.StatusCode)
+		}
+	}
+}

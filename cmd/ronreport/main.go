@@ -18,6 +18,19 @@
 //
 //	ronsim -sweep -replicas 4 -out results/ -trace results/traces
 //	ronreport -sweep results/
+//
+// With -store, ronreport is a query engine over the sweep's columnar
+// result store (results.seg, written by every persisting sweep and
+// backfillable with -reindex): -query filters rows by axis predicates,
+// -group-by/-metrics/-quantile aggregate metric columns, -render
+// re-renders any paper table byte-identically to the files under
+// merged/, and -drill restores backing snapshots for CDF-level answers:
+//
+//	ronreport -store results/ -reindex
+//	ronreport -store results/ -query "kind=group,scenario=outage" -render resilience
+//	ronreport -store results/ -query kind=cell -group-by redundancy \
+//	    -metrics wl.mp.losspct -quantile 0.95
+//	ronreport -store results/ -query "kind=cell,group=ronnarrow" -drill "win20:direct"
 package main
 
 import (
@@ -40,8 +53,33 @@ func main() {
 		hosts    = flag.Int("hosts", 30, "number of hosts in the mesh")
 		methods  = flag.String("methods", "direct", "comma-separated method names, indexed by the Method field in the logs")
 		sweepDir = flag.String("sweep", "", "read a ronsim sweep manifest (sweep.json) from this directory and combine its per-cell traces")
+		store    = flag.String("store", "", "query the columnar result store of this sweep output directory (or a results.seg path)")
+		reindex  = flag.Bool("reindex", false, "with -store: backfill the store from the directory's manifest and cell snapshots")
+		query    = flag.String("query", "", "with -store: comma-separated field=glob predicates (kind, name, group, dataset, replica, seed, or any axis)")
+		groupBy  = flag.String("group-by", "", "with -store -metrics: bucket selected rows by this field")
+		metrics  = flag.String("metrics", "", "with -store: comma-separated metric columns to print")
+		quantile = flag.Float64("quantile", -1, "with -store -metrics/-drill: also report this quantile (0..1)")
+		render   = flag.String("render", "", "with -store: re-render a table from each selected row (overview, table6, workload, resilience)")
+		drill    = flag.String("drill", "", "with -store: snapshot-backed CDF drill-down (pathloss, win20:<method>, clp:<method>, latency:<method>)")
 	)
 	flag.Parse()
+
+	if *store != "" {
+		q := storeQuery{
+			reindex:  *reindex,
+			query:    *query,
+			groupBy:  *groupBy,
+			metrics:  *metrics,
+			quantile: *quantile,
+			render:   *render,
+			drill:    *drill,
+		}
+		q.root, q.segPath = resolveStore(*store)
+		if err := runStore(q); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *sweepDir != "" {
 		if err := reportSweep(*sweepDir); err != nil {
@@ -204,7 +242,7 @@ func printTables(agg *analysis.Aggregator) {
 	// snapshots; render it wherever it survived the merge.
 	if ws := agg.Workload(); ws != nil && ws.HasData() {
 		fmt.Println("Workload (delivered application frames)")
-		fmt.Println(analysis.RenderWorkloadTable(ws))
+		fmt.Println(analysis.RenderWorkloadTable(ws.Table()))
 	}
 }
 

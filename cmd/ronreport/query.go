@@ -1,0 +1,250 @@
+package main
+
+// The query engine over a sweep's columnar result store (-store):
+// filter rows with axis predicates (-query), bucket them (-group-by),
+// pull metric columns (-metrics) with group means and quantiles
+// (-quantile), re-render any paper table from a stored row (-render;
+// byte-identical to the files under merged/), and answer CDF-level
+// questions the flat vector can't by drilling into the rows' backing
+// snapshots (-drill). The flat path never opens a snapshot: a million-
+// cell sweep answers "how does totlp move along the redundancy axis"
+// from the segment file alone.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/resultstore"
+)
+
+// flagOut is where query output goes; tests capture it.
+var flagOut io.Writer = os.Stdout
+
+// storeQuery is the parsed -store flag family.
+type storeQuery struct {
+	root     string // sweep output dir (snapshot resolution base)
+	segPath  string
+	reindex  bool
+	query    string
+	groupBy  string
+	metrics  string
+	quantile float64 // <0 means unset
+	render   string
+	drill    string
+}
+
+// resolveStore maps the -store argument to (root dir, segment path): a
+// directory means its results.seg, a file path is used verbatim.
+func resolveStore(path string) (root, seg string) {
+	if strings.HasSuffix(path, ".seg") {
+		return filepath.Dir(path), path
+	}
+	return path, resultstore.SegmentPath(path)
+}
+
+func runStore(q storeQuery) error {
+	if q.reindex {
+		if err := reindexStore(q.root, q.segPath); err != nil {
+			return err
+		}
+		if q.render == "" && q.metrics == "" && q.drill == "" && q.query == "" {
+			return nil
+		}
+	}
+	seg, err := resultstore.ReadSegment(q.segPath)
+	if err != nil {
+		return err
+	}
+	if seg.TruncatedBytes > 0 {
+		fmt.Fprintf(flagOut, "(store: ignored %d bytes of torn tail)\n", seg.TruncatedBytes)
+	}
+	rows := seg.Unique()
+	preds, err := resultstore.ParsePredicates(q.query)
+	if err != nil {
+		return err
+	}
+	sel := resultstore.Select(rows, preds)
+	if len(sel) == 0 {
+		return fmt.Errorf("query %q selected no rows (store has %d)", q.query, len(rows))
+	}
+	switch {
+	case q.render != "":
+		return renderRows(sel, q.render)
+	case q.drill != "":
+		return drillRows(q.root, sel, q.drill, q.quantile)
+	case q.metrics != "":
+		return printMetrics(sel, q)
+	default:
+		listRows(sel)
+		return nil
+	}
+}
+
+// renderRows re-renders a paper table from each selected row. A single
+// selected row prints the bare table — byte-identical to the matching
+// file under merged/ (or a cell's own output dir) — so CI can diff the
+// two; multiple rows are separated by === name === headers.
+func renderRows(sel []*resultstore.Row, kind string) error {
+	for _, r := range sel {
+		t, err := resultstore.RowTables(r)
+		if err != nil {
+			return fmt.Errorf("row %s: %w", r.Name, err)
+		}
+		var out string
+		switch kind {
+		case "overview", "table5":
+			out = analysis.RenderTable5(t.Overview, t.LatencyLabel)
+		case "table6", "hours":
+			out = analysis.RenderTable6(t.Hours)
+		case "workload":
+			if t.Workload == nil {
+				return fmt.Errorf("row %s carries no workload table", r.Name)
+			}
+			out = analysis.RenderWorkloadTable(t.Workload)
+		case "resilience":
+			if t.Resilience == nil {
+				return fmt.Errorf("row %s carries no resilience table", r.Name)
+			}
+			out = analysis.RenderResilienceTable(t.Resilience)
+		default:
+			return fmt.Errorf("unknown -render kind %q (want overview, table6, workload, or resilience)", kind)
+		}
+		if len(sel) > 1 {
+			fmt.Fprintf(flagOut, "=== %s ===\n", r.Name)
+		}
+		fmt.Fprint(flagOut, out)
+	}
+	return nil
+}
+
+// printMetrics prints metric columns: raw per-row values without
+// -group-by, per-bucket count/mean (plus the requested quantile) with
+// it.
+func printMetrics(sel []*resultstore.Row, q storeQuery) error {
+	cols := splitMethods(q.metrics)
+	if q.groupBy == "" && q.quantile < 0 {
+		for _, r := range sel {
+			fmt.Fprintf(flagOut, "%s", r.Name)
+			for _, col := range cols {
+				if v, ok := resultstore.MetricValue(r, col); ok {
+					fmt.Fprintf(flagOut, " %s=%g", col, v)
+				} else {
+					fmt.Fprintf(flagOut, " %s=-", col)
+				}
+			}
+			fmt.Fprintln(flagOut)
+		}
+		return nil
+	}
+	for _, g := range resultstore.GroupBy(sel, q.groupBy) {
+		key := "(all)"
+		if q.groupBy != "" {
+			key = q.groupBy + "=" + g.Key
+		}
+		for _, col := range cols {
+			vals := resultstore.MetricValues(g.Rows, col)
+			if len(vals) == 0 {
+				fmt.Fprintf(flagOut, "%s %s n=0\n", key, col)
+				continue
+			}
+			mean := 0.0
+			for _, v := range vals {
+				mean += v
+			}
+			mean /= float64(len(vals))
+			fmt.Fprintf(flagOut, "%s %s n=%d mean=%g", key, col, len(vals), mean)
+			if q.quantile >= 0 {
+				fmt.Fprintf(flagOut, " p%g=%g", 100*q.quantile,
+					resultstore.Quantile(vals, q.quantile))
+			}
+			fmt.Fprintln(flagOut)
+		}
+	}
+	return nil
+}
+
+// listRows prints a one-line inventory per selected row.
+func listRows(sel []*resultstore.Row) {
+	for _, r := range sel {
+		fmt.Fprintf(flagOut, "%-5s %-40s dataset=%s replicas=%d", r.Kind, r.Name, r.Dataset, r.Replicas)
+		for _, kv := range r.Axes {
+			fmt.Fprintf(flagOut, " %s=%s", kv.Key, kv.Value)
+		}
+		fmt.Fprintf(flagOut, " metrics=%d\n", len(r.Metrics))
+	}
+}
+
+// drillRows answers a CDF-level question by restoring the selected cell
+// rows' backing snapshots, merging them in name order, and reading the
+// requested distribution off the merged aggregator. Specs:
+//
+//	pathloss           per-path long-term loss CDF, direct method (Fig 2)
+//	win20:<method>     20-minute loss-rate CDF (Fig 3)
+//	clp:<method>       per-path conditional loss CDF (Fig 4)
+//	latency:<method>   per-path latency CDF over >50 ms paths (Fig 5)
+func drillRows(root string, sel []*resultstore.Row, spec string, quantile float64) error {
+	what, method, _ := strings.Cut(spec, ":")
+	var cells []*resultstore.Row
+	for _, r := range sel {
+		if r.Kind == resultstore.KindCell && r.Snapshot != "" {
+			cells = append(cells, r)
+		}
+	}
+	if len(cells) == 0 {
+		return fmt.Errorf("drill-down needs snapshot-backed cell rows; none selected (add kind=cell to the query)")
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Name < cells[j].Name })
+	results := make([]*core.Result, 0, len(cells))
+	for _, r := range cells {
+		snap, err := core.ReadCellSnapshot(filepath.Join(root, filepath.FromSlash(r.Snapshot)))
+		if err != nil {
+			return fmt.Errorf("cell %s: %w", r.Name, err)
+		}
+		res, err := snap.RestoreStandalone()
+		if err != nil {
+			return fmt.Errorf("cell %s: %w", r.Name, err)
+		}
+		results = append(results, res)
+	}
+	merged, err := core.MergeResults(results)
+	if err != nil {
+		return err
+	}
+	merged.Agg.Flush()
+	var cdf *analysis.CDF
+	switch what {
+	case "pathloss":
+		cdf = merged.Figure2(50)
+	case "win20", "clp", "latency":
+		m := merged.Agg.MethodIndex(method)
+		if m < 0 {
+			return fmt.Errorf("drill %s: unknown method %q (have: %s)",
+				what, method, strings.Join(merged.Agg.Methods(), ", "))
+		}
+		switch what {
+		case "win20":
+			cdf = merged.Agg.WindowRateCDF(m)
+		case "clp":
+			cdf = merged.Agg.CLPByPathCDF(m)
+		case "latency":
+			cdf = merged.Agg.PathLatencyCDF(m, merged.DirectMethodIndex(), core.Figure5MinLatency)
+		}
+	default:
+		return fmt.Errorf("unknown -drill spec %q (want pathloss, win20:<m>, clp:<m>, or latency:<m>)", spec)
+	}
+	fmt.Fprintf(flagOut, "drill %s over %d cells (%d samples)\n", spec, len(cells), cdf.N())
+	if quantile >= 0 {
+		fmt.Fprintf(flagOut, "p%g=%g\n", 100*quantile, cdf.Quantile(quantile))
+		return nil
+	}
+	fmt.Fprintf(flagOut, "mean=%g p50=%g p90=%g p95=%g p99=%g max=%g\n",
+		cdf.Mean(), cdf.Quantile(0.5), cdf.Quantile(0.9), cdf.Quantile(0.95),
+		cdf.Quantile(0.99), cdf.Max())
+	return nil
+}

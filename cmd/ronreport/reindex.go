@@ -1,0 +1,98 @@
+package main
+
+// -reindex backfills a result store from a sweep output directory's
+// persisted artifacts: every manifest cell with a restorable snapshot
+// becomes a cell row, and every group whose replicas all restored
+// becomes a merged group row — so pre-store sweep outputs (and
+// -merge-only reruns, which bypass the live sinks) become queryable
+// without recomputing anything. Restoration uses the snapshots' own
+// recorded metadata (RestoreStandalone), not the manifest's grid
+// re-expansion, so a store can be rebuilt by binaries that never
+// registered the sweep's custom axes. Reindexing is idempotent: rows
+// already in the segment (by identity) are skipped.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"strings"
+
+	"repro/experiment"
+	"repro/internal/core"
+	"repro/internal/resultstore"
+)
+
+func reindexStore(root, segPath string) error {
+	m, err := experiment.LoadManifest(root)
+	if err != nil {
+		return err
+	}
+	existing := map[string]bool{}
+	if seg, err := resultstore.ReadSegment(segPath); err == nil {
+		for i := range seg.Rows {
+			existing[seg.Rows[i].Identity()] = true
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	st, err := resultstore.Open(segPath)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	cellsAdded, groupsAdded, missing := 0, 0, 0
+	for _, g := range m.Groups {
+		dataset := strings.ToLower(g.Dataset)
+		results := make([]*core.Result, 0, len(g.Cells))
+		complete := true
+		for replica, c := range g.Cells {
+			snap, err := core.ReadManifestCellSnapshot(root, c)
+			if err != nil {
+				if !errors.Is(err, fs.ErrNotExist) {
+					fmt.Fprintf(flagOut, "(cell %s: skipping snapshot: %v)\n", c.Name, err)
+				}
+				complete = false
+				missing++
+				continue
+			}
+			res, err := snap.RestoreStandalone()
+			if err != nil {
+				fmt.Fprintf(flagOut, "(cell %s: snapshot does not restore: %v)\n", c.Name, err)
+				complete = false
+				missing++
+				continue
+			}
+			results = append(results, res)
+			if existing["cell:"+c.Name] {
+				continue
+			}
+			rel := c.Snapshot
+			if rel == "" {
+				rel = core.CellSnapshotRelPath(c.Name)
+			}
+			row := core.StoreRow(resultstore.KindCell, c.Name, g.Name, dataset,
+				g.Axes, replica, 1, c.Seed, rel, res)
+			if err := st.Append(row); err != nil {
+				return err
+			}
+			cellsAdded++
+		}
+		if !complete || len(results) == 0 || existing["group:"+g.Name] {
+			continue
+		}
+		merged, err := core.MergeResults(results)
+		if err != nil {
+			return fmt.Errorf("group %s: %w", g.Name, err)
+		}
+		row := core.StoreRow(resultstore.KindGroup, g.Name, g.Name, dataset,
+			g.Axes, -1, len(results), 0, "", merged)
+		if err := st.Append(row); err != nil {
+			return err
+		}
+		groupsAdded++
+	}
+	fmt.Fprintf(flagOut, "reindex: added %d cell and %d group rows (%d cells missing); store now holds %d rows\n",
+		cellsAdded, groupsAdded, missing, st.Rows())
+	return nil
+}

@@ -725,12 +725,12 @@ func writeFigures(dir string, d core.Dataset, res *core.Result) error {
 	// byte-identity between grids produced before and after these files
 	// existed.
 	if ws := res.Agg.Workload(); ws != nil && ws.HasData() {
-		if err := write("workload.txt", analysis.RenderWorkloadTable(ws)); err != nil {
+		if err := write("workload.txt", analysis.RenderWorkloadTable(ws.Table())); err != nil {
 			return err
 		}
 	}
 	if rs := res.Agg.Resilience(); rs != nil && rs.HasData() {
-		return write("resilience.txt", analysis.RenderResilienceTable(rs))
+		return write("resilience.txt", analysis.RenderResilienceTable(rs.Table()))
 	}
 	return nil
 }

@@ -108,7 +108,7 @@ func main() {
 		fmt.Printf("\n=== %s: %d replicas merged ===\n%s", g.Name(), len(g.Cells),
 			analysis.RenderTable5(g.Merged.Table5Rows(), g.Merged.LatencyLabel()))
 		if ws := g.Merged.Agg.Workload(); ws != nil && ws.HasData() {
-			fmt.Printf("%s", analysis.RenderWorkloadTable(ws))
+			fmt.Printf("%s", analysis.RenderWorkloadTable(ws.Table()))
 		}
 	}
 }

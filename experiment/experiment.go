@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/resultstore"
 )
 
 // Option configures an Experiment under construction.
@@ -62,6 +63,7 @@ type Experiment struct {
 	remoteCtx   context.Context
 
 	sweep   *core.Sweep // memoized expansion
+	store   *resultstore.Store
 	snapErr error
 	// snapBuf is the snapshot encode buffer reused across cells; the
 	// Progress hook (which writes snapshots) is serialized by the sweep
@@ -109,6 +111,19 @@ func New(opts ...Option) (*Experiment, error) {
 				e.snapErr = err
 			}
 		}
+	}
+	if e.outDir != "" {
+		// Persisting experiments also feed the columnar result store:
+		// one row per completed cell and merged group lands in
+		// results.seg next to cells/ and merged/, queryable with
+		// ronreport. Opening recovers (and truncates) any torn tail a
+		// killed run left behind.
+		st, err := resultstore.Open(resultstore.SegmentPath(e.outDir))
+		if err != nil {
+			return nil, err
+		}
+		e.store = st
+		e.spec.Results = st
 	}
 	return e, nil
 }
@@ -177,6 +192,25 @@ func (e *Experiment) Shard() string { return e.shard }
 // Remote, the cells run on a worker fleet instead of in-process; the
 // result is byte-identical either way.
 func (e *Experiment) Run() (*core.SweepResult, error) {
+	res, err := e.run()
+	if e.store != nil {
+		// The store's lifetime is one Run: close it so the segment is
+		// fully on disk when Run returns (each append was already a
+		// single framed write, so even a crash before here loses at
+		// most a torn tail).
+		if cerr := e.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		e.store = nil
+		e.spec.Results = nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (e *Experiment) run() (*core.SweepResult, error) {
 	s, err := e.Sweep()
 	if err != nil {
 		return nil, err

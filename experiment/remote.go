@@ -83,6 +83,7 @@ func (e *Experiment) runRemote(s *core.Sweep) (*core.SweepResult, error) {
 		OutDir:   e.outDir,
 		Filter:   e.spec.Filter,
 		Reuse:    e.spec.Reuse,
+		Results:  e.store,
 		OnCellDone: func(r core.CellResult) {
 			if e.progress != nil {
 				e.progress(r)

@@ -161,7 +161,7 @@ func TestGoldenWorkloadSweepDigests(t *testing.T) {
 		}
 		arts[g.Name()] = analysis.RenderTable5(g.Merged.Table5Rows(), g.Merged.LatencyLabel()) +
 			analysis.RenderTable6(g.Merged.Agg.HighLossHours()) +
-			analysis.RenderWorkloadTable(ws)
+			analysis.RenderWorkloadTable(ws.Table())
 	}
 
 	keys := make([]string, 0, len(arts))

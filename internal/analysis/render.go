@@ -66,25 +66,26 @@ func periodsSummary(periods []int64) int64 {
 // one row per delivery scheme with frame loss, shard loss, and
 // delivered-frame latency (mean and p95), and a footer cross-checking
 // the measured multi-path improvement against the §5.3 cost model's
-// recommendation for that target.
-func RenderWorkloadTable(w *WorkloadStats) string {
+// recommendation for that target. It renders the flat table view
+// (WorkloadStats.Table), so stored result rows re-render identically.
+func RenderWorkloadTable(w *WorkloadTable) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "FEC group k=%d m=%d over %d disjoint path(s)\n",
 		w.DataShards, w.ParityShards, w.Paths)
 	fmt.Fprintf(&b, "%-14s %9s %7s %7s %8s %8s %8s\n",
 		"Scheme", "frames", "loss%", "shard%", "lat", "p95lat", "strm50%")
 	for i, name := range [...]string{"best-path", "multi-path+FEC"} {
-		v := w.Variant(i)
+		v := &w.Rows[i]
 		fmt.Fprintf(&b, "%-14s %9d %7.2f %7.2f %8.2f %8.2f %8.2f\n",
-			name, v.FramesSent, v.FrameLossPct(), v.ShardLossPct(),
-			float64(v.MeanLatency())/float64(time.Millisecond),
-			v.LatencyCDF().Quantile(0.95),
-			v.StreamLossCDF().Quantile(0.5))
+			name, v.FramesSent, v.FrameLossPct, v.ShardLossPct,
+			float64(v.MeanLatency)/float64(time.Millisecond),
+			v.P95LatencyMs,
+			v.StreamLoss50Pct)
 	}
-	bp, mp := w.Variant(WorkloadBestPath), w.Variant(WorkloadMultiPath)
+	bp, mp := &w.Rows[WorkloadBestPath], &w.Rows[WorkloadMultiPath]
 	improvement := 0.0
-	if bpLoss := bp.FrameLossPct(); bpLoss > 0 {
-		improvement = 1 - mp.FrameLossPct()/bpLoss
+	if bpLoss := bp.FrameLossPct; bpLoss > 0 {
+		improvement = 1 - mp.FrameLossPct/bpLoss
 	}
 	// Recommend wants a target in [0, 1); clamp the measured improvement
 	// into its domain (a negative value means multi-path lost outright).
@@ -100,7 +101,7 @@ func RenderWorkloadTable(w *WorkloadStats) string {
 		strategy = rec.String()
 	}
 	fmt.Fprintf(&b, "(reconstruct failures: %d; FEC overhead %.2fx; multi-path avoided %.1f%% of best-path frame loss; §5.3 model recommends: %s)\n",
-		mp.ReconstructFailures, w.Overhead(), 100*improvement, strategy)
+		w.ReconstructFailures, w.Overhead, 100*improvement, strategy)
 	return b.String()
 }
 
@@ -108,17 +109,18 @@ func RenderWorkloadTable(w *WorkloadStats) string {
 // row per recovery scheme with availability during injected outages,
 // the fraction of outages masked, and time to recovery (mean and p95),
 // with a footer giving the underlay outage count the rows are measured
-// over.
-func RenderResilienceTable(s *ResilienceStats) string {
+// over. Like RenderWorkloadTable, it renders the flat view
+// (ResilienceStats.Table).
+func RenderResilienceTable(s *ResilienceTable) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-14s %9s %8s %8s %9s %9s\n",
 		"Scheme", "probes", "avail%", "masked%", "ttr", "p95ttr")
 	for i, name := range [...]string{"best-path", "multi-path"} {
-		v := s.Variant(i)
+		v := &s.Rows[i]
 		fmt.Fprintf(&b, "%-14s %9d %8.2f %8.2f %8.1fs %8.1fs\n",
-			name, v.ProbesSent, v.AvailabilityPct(), s.MaskedPct(i),
-			float64(v.MeanTTR())/float64(time.Second),
-			v.TTRCDF().Quantile(0.95))
+			name, v.ProbesSent, v.AvailabilityPct, v.MaskedPct,
+			float64(v.MeanTTR)/float64(time.Second),
+			v.P95TTRSeconds)
 	}
 	fmt.Fprintf(&b, "(injected underlay outages: %d; availability and recovery measured while outages were in effect)\n",
 		s.UnderlayOutages)

@@ -1,0 +1,89 @@
+package analysis
+
+import "time"
+
+// Table views: flat, render-ready extracts of the workload and
+// resilience metric families. A view carries exactly the numbers its
+// rendered table prints — nothing lazy, nothing derived at print time —
+// so a view can round-trip through the result store's flat metric
+// vector and re-render byte-identically far from the aggregator that
+// produced it.
+
+// WorkloadTableRow is one delivery scheme's line of the workload table.
+type WorkloadTableRow struct {
+	FramesSent      int64
+	FrameLossPct    float64
+	ShardLossPct    float64
+	MeanLatency     time.Duration
+	P95LatencyMs    float64
+	StreamLoss50Pct float64
+}
+
+// WorkloadTable is the render-ready view of a WorkloadStats: the FEC
+// shape, one row per delivery scheme, and the footer's reconstruction
+// and overhead figures.
+type WorkloadTable struct {
+	DataShards   int
+	ParityShards int
+	Paths        int
+	Rows         [workloadVariants]WorkloadTableRow
+	// ReconstructFailures is the multi-path variant's count (the footer
+	// figure); Overhead is the FEC bandwidth factor (k+m)/k.
+	ReconstructFailures int64
+	Overhead            float64
+}
+
+// Table extracts the render-ready view.
+func (w *WorkloadStats) Table() *WorkloadTable {
+	t := &WorkloadTable{
+		DataShards:          w.DataShards,
+		ParityShards:        w.ParityShards,
+		Paths:               w.Paths,
+		ReconstructFailures: w.Variant(WorkloadMultiPath).ReconstructFailures,
+		Overhead:            w.Overhead(),
+	}
+	for i := range t.Rows {
+		v := w.Variant(i)
+		t.Rows[i] = WorkloadTableRow{
+			FramesSent:      v.FramesSent,
+			FrameLossPct:    v.FrameLossPct(),
+			ShardLossPct:    v.ShardLossPct(),
+			MeanLatency:     v.MeanLatency(),
+			P95LatencyMs:    v.LatencyCDF().Quantile(0.95),
+			StreamLoss50Pct: v.StreamLossCDF().Quantile(0.5),
+		}
+	}
+	return t
+}
+
+// ResilienceTableRow is one recovery scheme's line of the resilience
+// table.
+type ResilienceTableRow struct {
+	ProbesSent      int64
+	AvailabilityPct float64
+	MaskedPct       float64
+	MeanTTR         time.Duration
+	P95TTRSeconds   float64
+}
+
+// ResilienceTable is the render-ready view of a ResilienceStats.
+type ResilienceTable struct {
+	UnderlayOutages int64
+	Rows            [resilienceVariants]ResilienceTableRow
+}
+
+// Table extracts the render-ready view.
+func (s *ResilienceStats) Table() *ResilienceTable {
+	t := &ResilienceTable{UnderlayOutages: s.UnderlayOutages}
+	for i := range t.Rows {
+		v := s.Variant(i)
+		t.Rows[i] = ResilienceTableRow{
+			ProbesSent:      v.ProbesSent,
+			AvailabilityPct: v.AvailabilityPct(),
+			MaskedPct:       s.MaskedPct(i),
+			MeanTTR:         v.MeanTTR(),
+			P95TTRSeconds:   v.TTRCDF().Quantile(0.95),
+		}
+	}
+	return t
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/resultstore"
 )
 
 // quarantineRejects is the consecutive-rejected-upload threshold at
@@ -51,6 +52,11 @@ type Config struct {
 	// moment its last replica lands and its replicas merge; calls are
 	// serialized in completion order.
 	OnGroupComplete func(*core.GroupResult)
+	// Results, when non-nil, receives one columnar row per completed
+	// cell (first delivery, reused, or crash-recovered) and per merged
+	// group. A restarted coordinator re-appends rows for recovered
+	// cells; the store's read side dedupes by row identity.
+	Results *resultstore.Store
 	// Warnf receives non-fatal notices; nil discards them.
 	Warnf func(format string, args ...any)
 }
@@ -191,9 +197,17 @@ func New(cfg Config) (*Coordinator, error) {
 
 	// Reused cells fire the completion callbacks now, and groups fully
 	// satisfied from snapshots merge before the first worker connects.
+	// They also land in the result store up front; a restart re-appends
+	// rows an earlier incarnation already wrote, which the store's
+	// read-side identity dedup absorbs.
 	for i := range c.cells {
 		if c.cached[i] {
 			c.notifyCell(core.CellResult{Cell: c.cells[i], Res: c.results[i], Cached: true})
+			if cfg.Results != nil {
+				if err := cfg.Results.Append(core.CellStoreRow(c.cells[i], c.results[i])); err != nil {
+					return nil, fmt.Errorf("coord: result store: %w", err)
+				}
+			}
 		}
 	}
 	c.mu.Lock()
@@ -346,7 +360,20 @@ func (c *Coordinator) Complete(cellIdx int, payload []byte, wall time.Duration) 
 		}
 	}
 	c.notifyCell(core.CellResult{Cell: cell, Res: res, Wall: wall})
+	// The cell's store row is appended before the group merge below can
+	// fire (merging flushes sibling aggregators; appending first keeps
+	// the row's extraction race-free and the store ordering cell-first).
+	var storeErr error
+	if c.cfg.Results != nil {
+		if err := c.cfg.Results.Append(core.CellStoreRow(cell, res)); err != nil {
+			storeErr = fmt.Errorf("coord: result store: %w", err)
+			c.warnf("cell %s: result store append: %v\n", cell.Name(), err)
+		}
+	}
 	c.mu.Lock()
+	if storeErr != nil && c.err == nil {
+		c.err = storeErr
+	}
 	c.results[cellIdx] = res
 	c.walls[cellIdx] = wall
 	c.doneCells++
@@ -407,6 +434,11 @@ func (c *Coordinator) mergeGroupLocked(g int) error {
 	}
 	c.merged[g] = merged
 	c.mergedN++
+	if c.cfg.Results != nil {
+		if err := c.cfg.Results.Append(core.GroupStoreRow(c.cells[idxs[0]], merged)); err != nil {
+			return fmt.Errorf("coord: result store: %w", err)
+		}
+	}
 	if c.cfg.OnGroupComplete != nil {
 		gr := c.groupResultLocked(g)
 		// Release the state lock around the callback: it may render
@@ -493,6 +525,9 @@ func (c *Coordinator) Snapshot() Progress {
 		ExpiredLeases:      expired,
 		RedispatchedLeases: redispatched,
 		Complete:           c.doneCells == c.selected && c.mergedN == c.expectedN,
+	}
+	if c.cfg.Results != nil {
+		p.StoredRows = c.cfg.Results.Rows()
 	}
 	now := c.now()
 	for name, seen := range c.workers {

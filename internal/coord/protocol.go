@@ -97,7 +97,11 @@ type Progress struct {
 	// earlier lease had already held.
 	ExpiredLeases      int64 `json:"expiredLeases"`
 	RedispatchedLeases int64 `json:"redispatchedLeases"`
-	Complete           bool  `json:"complete"`
+	// StoredRows counts rows in the columnar result store (cells plus
+	// merged groups, including rows recovered from a previous
+	// incarnation's segment); 0 when no store is attached.
+	StoredRows int64 `json:"storedRows,omitempty"`
+	Complete   bool  `json:"complete"`
 	// Workers lists every worker that ever contacted the coordinator,
 	// sorted by name, with its seconds-since-last-contact.
 	Workers []WorkerProgress `json:"workers,omitempty"`

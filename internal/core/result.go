@@ -139,11 +139,11 @@ func (r *Result) Report() string {
 		analysis.RenderTable6(r.Agg.HighLossHours()))
 	if ws := r.Agg.Workload(); ws != nil && ws.HasData() {
 		fmt.Fprintf(&b, "\nWorkload (delivered application frames)\n%s",
-			analysis.RenderWorkloadTable(ws))
+			analysis.RenderWorkloadTable(ws.Table()))
 	}
 	if rs := r.Agg.Resilience(); rs != nil && rs.HasData() {
 		fmt.Fprintf(&b, "\nResilience (recovery from injected outages)\n%s",
-			analysis.RenderResilienceTable(rs))
+			analysis.RenderResilienceTable(rs.Table()))
 	}
 	return b.String()
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/netsim"
+	"repro/internal/resultstore"
 )
 
 // ProfileVariant names one substrate-profile override in a sweep grid.
@@ -77,6 +78,11 @@ type SweepSpec struct {
 	// serialized but arrive in completion order, which varies with
 	// Parallel.
 	Progress func(CellResult)
+	// Results, when non-nil, receives one columnar row per completed
+	// cell (including cached ones) and per merged group, appended as
+	// they land. Append order varies with scheduling; the store's
+	// read side orders and dedupes by row identity.
+	Results *resultstore.Store
 }
 
 // Cell is one point of an expanded sweep grid: a dataset, one value
@@ -394,6 +400,33 @@ func (s *Sweep) Run() (*SweepResult, error) {
 			progressMu.Unlock()
 		}
 	}
+	// Result-store sinks: one row per completed cell and merged group.
+	// Rows are built outside the lock (table extraction allocates, once
+	// per completion); only the append and the sticky first error are
+	// guarded. A store failure never aborts in-flight cells — the sweep
+	// finishes and the error surfaces at the end.
+	var storeMu sync.Mutex
+	var storeErr error
+	storeAppend := func(row *resultstore.Row) {
+		storeMu.Lock()
+		if err := s.spec.Results.Append(row); err != nil && storeErr == nil {
+			storeErr = err
+		}
+		storeMu.Unlock()
+	}
+	storeCell := func(i int) {
+		if s.spec.Results == nil || results[i].Err != nil || results[i].Res == nil {
+			return
+		}
+		storeAppend(CellStoreRow(results[i].Cell, results[i].Res))
+	}
+	storeGroup := func(c Cell, m *Result) {
+		if s.spec.Results == nil || m == nil {
+			return
+		}
+		storeAppend(GroupStoreRow(c, m))
+	}
+
 	var toRun []int
 	selected, reused := 0, 0
 	for i, c := range s.cells {
@@ -409,6 +442,7 @@ func (s *Sweep) Run() (*SweepResult, error) {
 				results[i].Cached = true
 				reused++
 				progress(i)
+				storeCell(i)
 				continue
 			}
 		}
@@ -455,6 +489,9 @@ func (s *Sweep) Run() (*SweepResult, error) {
 			cells[k] = &results[ci]
 		}
 		merged[g], mergeErrs[g] = mergeCells(cells)
+		if mergeErrs[g] == nil {
+			storeGroup(cells[0].Cell, merged[g])
+		}
 	}
 
 	workers := s.spec.Parallel
@@ -478,6 +515,10 @@ func (s *Sweep) Run() (*SweepResult, error) {
 				results[i].Wall = time.Since(t0)
 				results[i].Err = err
 				progress(i)
+				// The cell row is appended before finishCell: group
+				// merges (which flush sibling aggregators) only start
+				// once every member's row is in.
+				storeCell(i)
 				finishCell(i)
 			}
 		}()
@@ -497,6 +538,9 @@ func (s *Sweep) Run() (*SweepResult, error) {
 	}
 	if len(errs) > 0 {
 		return nil, errors.Join(errs...)
+	}
+	if storeErr != nil {
+		return nil, fmt.Errorf("core: result store: %w", storeErr)
 	}
 
 	out := &SweepResult{
@@ -546,6 +590,7 @@ func (s *Sweep) Run() (*SweepResult, error) {
 					return nil, err
 				}
 				gr.Merged = m
+				storeGroup(first, m)
 			}
 		}
 		out.Groups[g] = gr

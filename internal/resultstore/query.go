@@ -1,0 +1,171 @@
+package resultstore
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The query side: axis-predicate filters, group-by, and quantiles over
+// stored rows — the primitives cmd/ronreport composes into a small
+// query engine. Predicates are conjunctive `field=pattern` terms;
+// patterns use path.Match globs, so `name=*-r0[01]` or
+// `scenario=outage` both work. Fields resolve against the row's fixed
+// identity first (kind, name, group, dataset, replica, seed) and fall
+// back to its axis map, so any future axis is queryable with no code
+// change; a row that lacks the axis resolves to "" and only matches an
+// empty or `*` pattern.
+
+// Predicate is one conjunctive query term.
+type Predicate struct {
+	Field   string
+	Pattern string
+}
+
+// ParsePredicates parses a comma-separated predicate list
+// ("scenario=outage,redundancy=0.5,kind=group"). An empty string means
+// no constraints.
+func ParsePredicates(s string) ([]Predicate, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var preds []Predicate
+	for _, term := range strings.Split(s, ",") {
+		field, pat, ok := strings.Cut(term, "=")
+		field = strings.TrimSpace(field)
+		if !ok || field == "" {
+			return nil, fmt.Errorf("resultstore: bad predicate %q (want field=pattern)", term)
+		}
+		pat = strings.TrimSpace(pat)
+		if _, err := path.Match(pat, ""); err != nil {
+			return nil, fmt.Errorf("resultstore: bad pattern %q: %w", pat, err)
+		}
+		preds = append(preds, Predicate{Field: field, Pattern: pat})
+	}
+	return preds, nil
+}
+
+// FieldValue resolves a query field against a row: fixed identity
+// fields first, then the axis map ("" when the row lacks the axis).
+func FieldValue(r *Row, field string) string {
+	switch field {
+	case "kind":
+		return r.Kind
+	case "name":
+		return r.Name
+	case "group":
+		return r.Group
+	case "dataset":
+		return r.Dataset
+	case "replica":
+		return strconv.FormatInt(int64(r.Replica), 10)
+	case "seed":
+		return strconv.FormatUint(r.Seed, 10)
+	}
+	for i := range r.Axes {
+		if r.Axes[i].Key == field {
+			return r.Axes[i].Value
+		}
+	}
+	return ""
+}
+
+// Match reports whether the row satisfies every predicate.
+func Match(r *Row, preds []Predicate) bool {
+	for _, p := range preds {
+		ok, err := path.Match(p.Pattern, FieldValue(r, p.Field))
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Select returns the rows satisfying every predicate, in input order.
+func Select(rows []*Row, preds []Predicate) []*Row {
+	out := rows[:0:0]
+	for _, r := range rows {
+		if Match(r, preds) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Group is one group-by bucket.
+type Group struct {
+	Key  string
+	Rows []*Row
+}
+
+// GroupBy buckets rows by a field's value, buckets sorted by key,
+// rows kept in input order. An empty field yields one "" bucket with
+// every row.
+func GroupBy(rows []*Row, field string) []Group {
+	if field == "" {
+		return []Group{{Rows: rows}}
+	}
+	byKey := map[string][]*Row{}
+	var keys []string
+	for _, r := range rows {
+		k := FieldValue(r, field)
+		if _, seen := byKey[k]; !seen {
+			keys = append(keys, k)
+		}
+		byKey[k] = append(byKey[k], r)
+	}
+	sort.Strings(keys)
+	out := make([]Group, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Group{Key: k, Rows: byKey[k]})
+	}
+	return out
+}
+
+// MetricValue looks up one metric column on a row.
+func MetricValue(r *Row, col string) (float64, bool) {
+	for i := range r.Metrics {
+		if r.Metrics[i].Col == col {
+			return r.Metrics[i].Val, true
+		}
+	}
+	return 0, false
+}
+
+// MetricValues collects a column across rows, skipping rows that lack
+// it.
+func MetricValues(rows []*Row, col string) []float64 {
+	var out []float64
+	for _, r := range rows {
+		if v, ok := MetricValue(r, col); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Quantile returns the q-quantile of vals under the same nearest-rank
+// convention as analysis.CDF.Quantile: the smallest value with
+// cumulative count strictly above ⌊q·n⌋, clamped to the extremes. vals
+// need not be sorted; the input slice is not modified.
+func Quantile(vals []float64, q float64) float64 {
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	idx := int64(q * float64(n))
+	if idx >= int64(n) {
+		idx = int64(n) - 1
+	}
+	return sorted[idx]
+}

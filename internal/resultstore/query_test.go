@@ -1,0 +1,161 @@
+package resultstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func queryRows() []*Row {
+	return []*Row{
+		{Kind: KindCell, Name: "a-r00", Group: "a", Dataset: "ronnarrow", Replica: 0, Seed: 10,
+			Axes:    []AxisKV{{"scenario", "0"}, {"streams", "2"}},
+			Metrics: []Metric{{"t6.worsthour", 0.4}}},
+		{Kind: KindCell, Name: "a-r01", Group: "a", Dataset: "ronnarrow", Replica: 1, Seed: 11,
+			Axes:    []AxisKV{{"scenario", "0"}, {"streams", "2"}},
+			Metrics: []Metric{{"t6.worsthour", 0.2}}},
+		{Kind: KindCell, Name: "b-r00", Group: "b", Dataset: "ronnarrow", Replica: 0, Seed: 12,
+			Axes:    []AxisKV{{"scenario", "outage"}, {"streams", "2"}},
+			Metrics: []Metric{{"t6.worsthour", 0.9}, {"rs.outages", 3}}},
+		{Kind: KindGroup, Name: "a", Group: "a", Dataset: "ronnarrow", Replica: -1,
+			Axes:    []AxisKV{{"scenario", "0"}, {"streams", "2"}},
+			Metrics: []Metric{{"t6.worsthour", 0.3}}},
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	preds, err := ParsePredicates(" kind=cell , scenario=outage,name=*-r0[01]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Predicate{{"kind", "cell"}, {"scenario", "outage"}, {"name", "*-r0[01]"}}
+	if len(preds) != len(want) {
+		t.Fatalf("parsed %d predicates, want %d", len(preds), len(want))
+	}
+	for i := range want {
+		if preds[i] != want[i] {
+			t.Errorf("predicate %d = %+v, want %+v", i, preds[i], want[i])
+		}
+	}
+	if p, err := ParsePredicates(""); err != nil || p != nil {
+		t.Errorf("empty query parsed to (%v, %v), want (nil, nil)", p, err)
+	}
+	if _, err := ParsePredicates("noequals"); err == nil {
+		t.Error("predicate without '=' accepted")
+	}
+	if _, err := ParsePredicates("name=[bad"); err == nil {
+		t.Error("malformed glob accepted")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	rows := queryRows()
+	cases := []struct {
+		query string
+		want  []string
+	}{
+		{"kind=cell", []string{"a-r00", "a-r01", "b-r00"}},
+		{"kind=group", []string{"a"}},
+		{"scenario=outage", []string{"b-r00"}},
+		{"kind=cell,scenario=0", []string{"a-r00", "a-r01"}},
+		{"name=a-r*", []string{"a-r00", "a-r01"}},
+		{"replica=1", []string{"a-r01"}},
+		{"seed=12", []string{"b-r00"}},
+		{"nosuchaxis=*", []string{"a-r00", "a-r01", "b-r00", "a"}},
+		{"nosuchaxis=x", nil},
+	}
+	for _, c := range cases {
+		preds, err := ParsePredicates(c.query)
+		if err != nil {
+			t.Fatalf("%q: %v", c.query, err)
+		}
+		sel := Select(rows, preds)
+		var got []string
+		for _, r := range sel {
+			got = append(got, r.Name)
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("%q selected %v, want %v", c.query, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("%q selected %v, want %v", c.query, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	rows := queryRows()
+	groups := GroupBy(rows, "scenario")
+	if len(groups) != 2 {
+		t.Fatalf("grouped into %d buckets, want 2", len(groups))
+	}
+	if groups[0].Key != "0" || len(groups[0].Rows) != 3 {
+		t.Errorf("bucket 0 = %q with %d rows, want \"0\" with 3", groups[0].Key, len(groups[0].Rows))
+	}
+	if groups[1].Key != "outage" || len(groups[1].Rows) != 1 {
+		t.Errorf("bucket 1 = %q with %d rows, want \"outage\" with 1", groups[1].Key, len(groups[1].Rows))
+	}
+	all := GroupBy(rows, "")
+	if len(all) != 1 || all[0].Key != "" || len(all[0].Rows) != len(rows) {
+		t.Errorf("empty field grouped into %d buckets, want a single catch-all", len(all))
+	}
+}
+
+func TestMetricValues(t *testing.T) {
+	rows := queryRows()
+	vals := MetricValues(rows, "rs.outages")
+	if len(vals) != 1 || vals[0] != 3 {
+		t.Errorf("rs.outages across rows = %v, want [3]", vals)
+	}
+	if vals := MetricValues(rows, "t6.worsthour"); len(vals) != 4 {
+		t.Errorf("t6.worsthour present on %d rows, want 4", len(vals))
+	}
+}
+
+// TestQuantileMatchesCDF is the satellite property test: for random
+// sample sets and probes, resultstore.Quantile must agree exactly with
+// analysis.CDF.Quantile — the canned queries' aggregate numbers carry
+// the same nearest-rank semantics as the figure pipeline.
+func TestQuantileMatchesCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	probes := []float64{-0.5, 0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1, 1.5}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		vals := make([]float64, n)
+		var cdf analysis.CDF
+		for i := range vals {
+			// A mix of repeated small rationals (like win20 loss rates)
+			// and continuous draws.
+			if rng.Intn(2) == 0 {
+				vals[i] = float64(rng.Intn(5)) / 4
+			} else {
+				vals[i] = rng.NormFloat64()
+			}
+			cdf.Add(vals[i])
+		}
+		qs := append(probes, rng.Float64(), rng.Float64())
+		for _, q := range qs {
+			got := Quantile(vals, q)
+			want := cdf.Quantile(q)
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("trial %d: Quantile(%d vals, q=%v) = %v, CDF says %v",
+					trial, n, q, got, want)
+			}
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile of no values should be 0, matching CDF")
+	}
+	// The input must come back unmodified (Quantile sorts a copy).
+	in := []float64{3, 1, 2}
+	Quantile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Quantile reordered its input: %v", in)
+	}
+}

@@ -1,0 +1,506 @@
+// Package resultstore is the columnar sweep result sink: an append-only
+// segment file with one row per completed cell or merged group,
+// carrying the cell's dataset, full axis-coordinate map, replica index,
+// and a flat metric vector extracted from the analysis aggregator. The
+// sweep engine, the experiment builder, and the fleet coordinator all
+// append to it as cells finish, and cmd/ronreport queries it — axis
+// predicates, group-by, quantiles, and canned re-renders of every paper
+// table — without touching a single snapshot.
+//
+// Segment format (all integers little-endian, like CellSnapshot):
+//
+//	magic "RONSTOR1"
+//	block*: [kind u8][payloadLen u32][payload][crc32 u32 IEEE over kind+len+payload]
+//
+// Block kind 1 is a column dictionary: a uvarint count followed by that
+// many length-prefixed column names; IDs are assigned in file order of
+// first appearance, so readers rebuild the dictionary by accumulation.
+// Block kind 2 is one row (see appendRow for the field layout); metric
+// columns reference dictionary IDs, so the per-row cost of a metric is
+// a uvarint plus eight bytes regardless of column-name length.
+//
+// Each Append is a single write(2) of fully CRC-framed bytes, so a
+// crash can only produce a torn tail; Open and ReadSegment scan blocks
+// and truncate/ignore everything from the first bad frame, making the
+// store crash-tolerant the same way the coordinator's snapshot
+// directory is. Appends are never deduplicated (a coordinator restart
+// legitimately re-appends recovered cells); readers dedupe by row
+// identity, first occurrence wins.
+package resultstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Metric values and Days travel as raw IEEE-754 bits, so every float
+// round-trips exactly and integer counters stored as floats stay exact
+// up to 2⁵³.
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// SegmentFileName is the store's file name inside a sweep output
+// directory, next to cells/ and merged/.
+const SegmentFileName = "results.seg"
+
+// SegmentPath returns the segment path for a sweep output directory.
+func SegmentPath(outDir string) string { return filepath.Join(outDir, SegmentFileName) }
+
+const (
+	storeMagic = "RONSTOR1"
+
+	blockColumns = 1
+	blockRow     = 2
+
+	rowKindCell  = 1
+	rowKindGroup = 2
+)
+
+// Row kinds as query-facing strings.
+const (
+	KindCell  = "cell"
+	KindGroup = "group"
+)
+
+// AxisKV is one axis coordinate, e.g. {"scenario", "outage"}.
+type AxisKV struct {
+	Key   string
+	Value string
+}
+
+// Metric is one named scalar of a row's flat metric vector.
+type Metric struct {
+	Col string
+	Val float64
+}
+
+// Row is one stored result: a completed cell (Kind == KindCell, one
+// replica campaign) or a merged group (Kind == KindGroup, all replicas
+// of one grid point folded together).
+type Row struct {
+	Kind    string
+	Name    string // cell name ("...-r00") or group name
+	Group   string // owning group name; equals Name for group rows
+	Dataset string // lower-cased dataset, as used in output paths
+
+	Replica  int32 // replica ordinal for cells; -1 for group rows
+	Replicas int32 // campaigns folded into the row (1 for cells)
+	Hosts    int32 // testbed size
+
+	Seed uint64  // cell seed; 0 for group rows
+	Days float64 // per-replica campaign length in virtual days
+
+	RONProbes     int64
+	MeasureProbes int64
+	RouteChanges  int64
+
+	// Snapshot is the out-dir-relative CellSnapshot path backing the
+	// row ("" for group rows) — the drill-down hook for CDF-level
+	// questions the flat metrics can't answer.
+	Snapshot string
+
+	Axes    []AxisKV // sorted by key
+	Metrics []Metric
+}
+
+// Identity returns the row's dedup key: kind plus name.
+func (r *Row) Identity() string { return r.Kind + ":" + r.Name }
+
+// Store is the append side: an open segment file plus the running
+// column dictionary. Safe for concurrent Append.
+type Store struct {
+	mu   sync.Mutex
+	f    *os.File
+	buf  []byte
+	cols map[string]uint64 // column name → dictionary ID
+	rows int64
+	path string
+}
+
+// Open opens (creating if needed) the segment at path and positions for
+// appending. A torn tail from a crashed writer — anything from a
+// half-written magic to a half-written block — is truncated away;
+// everything CRC-valid before it is preserved, and the column
+// dictionary and row count are rebuilt from the surviving blocks.
+func Open(path string) (*Store, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{f: f, cols: make(map[string]uint64), path: path}
+	if err := s.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans the segment, rebuilds the dictionary and row count from
+// the valid prefix, truncates any torn tail, and seeks to the end.
+func (s *Store) recover() error {
+	data, err := io.ReadAll(s.f)
+	if err != nil {
+		return err
+	}
+	if len(data) < len(storeMagic) {
+		// Empty or torn-magic file: start fresh.
+		if err := s.f.Truncate(0); err != nil {
+			return err
+		}
+		if _, err := s.f.WriteAt([]byte(storeMagic), 0); err != nil {
+			return err
+		}
+		_, err := s.f.Seek(int64(len(storeMagic)), io.SeekStart)
+		return err
+	}
+	if string(data[:len(storeMagic)]) != storeMagic {
+		return fmt.Errorf("resultstore: %s: not a result store segment", s.path)
+	}
+	valid := len(storeMagic)
+	for {
+		kind, payload, next, ok := nextBlock(data, valid)
+		if !ok {
+			break
+		}
+		if kind == blockColumns {
+			if !s.addColumns(payload) {
+				break
+			}
+		}
+		if kind == blockRow {
+			s.rows++
+		}
+		valid = next
+	}
+	if valid < len(data) {
+		if err := s.f.Truncate(int64(valid)); err != nil {
+			return err
+		}
+	}
+	_, err = s.f.Seek(int64(valid), io.SeekStart)
+	return err
+}
+
+// addColumns registers a dictionary block's names, in order.
+func (s *Store) addColumns(payload []byte) bool {
+	names, ok := decodeColumns(payload, nil)
+	if !ok {
+		return false
+	}
+	for _, n := range names {
+		if _, dup := s.cols[n]; !dup {
+			s.cols[n] = uint64(len(s.cols))
+		}
+	}
+	return true
+}
+
+// nextBlock parses one block at off. ok is false on a short, corrupt,
+// or unknown-kind frame — the torn-tail boundary.
+func nextBlock(data []byte, off int) (kind byte, payload []byte, next int, ok bool) {
+	if off+5 > len(data) {
+		return 0, nil, 0, false
+	}
+	kind = data[off]
+	n := int(binary.LittleEndian.Uint32(data[off+1 : off+5]))
+	end := off + 5 + n
+	if kind != blockColumns && kind != blockRow || end+4 > len(data) {
+		return 0, nil, 0, false
+	}
+	want := binary.LittleEndian.Uint32(data[end : end+4])
+	if crc32.ChecksumIEEE(data[off:end]) != want {
+		return 0, nil, 0, false
+	}
+	return kind, data[off+5 : end], end + 4, true
+}
+
+// Append writes one row as a single framed write. New metric columns
+// are registered in a dictionary block emitted immediately before the
+// row, inside the same write. Steady state — every column already
+// registered, buffer warm — allocates nothing.
+func (s *Store) Append(r *Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = s.buf[:0]
+
+	fresh := false
+	for i := range r.Metrics {
+		if _, ok := s.cols[r.Metrics[i].Col]; !ok {
+			fresh = true
+			break
+		}
+	}
+	if fresh {
+		var names []string // only reached for never-seen columns; allocs fine
+		for i := range r.Metrics {
+			if _, ok := s.cols[r.Metrics[i].Col]; !ok {
+				s.cols[r.Metrics[i].Col] = uint64(len(s.cols))
+				names = append(names, r.Metrics[i].Col)
+			}
+		}
+		start := s.beginBlock(blockColumns)
+		s.buf = binary.AppendUvarint(s.buf, uint64(len(names)))
+		for _, n := range names {
+			s.appendString(n)
+		}
+		s.endBlock(start)
+	}
+
+	start := s.beginBlock(blockRow)
+	s.appendRow(r)
+	s.endBlock(start)
+
+	if _, err := s.f.Write(s.buf); err != nil {
+		return fmt.Errorf("resultstore: append %s: %w", s.path, err)
+	}
+	s.rows++
+	return nil
+}
+
+// appendRow encodes the row payload. Field order is the wire contract;
+// decodeRow mirrors it exactly.
+func (s *Store) appendRow(r *Row) {
+	k := byte(rowKindCell)
+	if r.Kind == KindGroup {
+		k = rowKindGroup
+	}
+	s.buf = append(s.buf, k)
+	s.buf = binary.LittleEndian.AppendUint64(s.buf, r.Seed)
+	s.buf = binary.LittleEndian.AppendUint32(s.buf, uint32(r.Replica))
+	s.buf = binary.LittleEndian.AppendUint32(s.buf, uint32(r.Replicas))
+	s.buf = binary.LittleEndian.AppendUint32(s.buf, uint32(r.Hosts))
+	s.buf = binary.LittleEndian.AppendUint64(s.buf, floatBits(r.Days))
+	s.buf = binary.LittleEndian.AppendUint64(s.buf, uint64(r.RONProbes))
+	s.buf = binary.LittleEndian.AppendUint64(s.buf, uint64(r.MeasureProbes))
+	s.buf = binary.LittleEndian.AppendUint64(s.buf, uint64(r.RouteChanges))
+	s.appendString(r.Name)
+	s.appendString(r.Group)
+	s.appendString(r.Dataset)
+	s.appendString(r.Snapshot)
+	s.buf = binary.AppendUvarint(s.buf, uint64(len(r.Axes)))
+	for i := range r.Axes {
+		s.appendString(r.Axes[i].Key)
+		s.appendString(r.Axes[i].Value)
+	}
+	s.buf = binary.AppendUvarint(s.buf, uint64(len(r.Metrics)))
+	for i := range r.Metrics {
+		s.buf = binary.AppendUvarint(s.buf, s.cols[r.Metrics[i].Col])
+		s.buf = binary.LittleEndian.AppendUint64(s.buf, floatBits(r.Metrics[i].Val))
+	}
+}
+
+func (s *Store) appendString(v string) {
+	s.buf = binary.AppendUvarint(s.buf, uint64(len(v)))
+	s.buf = append(s.buf, v...)
+}
+
+// beginBlock reserves the 5-byte header and returns the payload start;
+// endBlock backfills the length and appends the CRC.
+func (s *Store) beginBlock(kind byte) int {
+	s.buf = append(s.buf, kind, 0, 0, 0, 0)
+	return len(s.buf)
+}
+
+func (s *Store) endBlock(start int) {
+	binary.LittleEndian.PutUint32(s.buf[start-4:start], uint32(len(s.buf)-start))
+	crc := crc32.ChecksumIEEE(s.buf[start-5:])
+	s.buf = binary.LittleEndian.AppendUint32(s.buf, crc)
+}
+
+// Rows returns the number of rows appended plus those recovered at
+// Open — the figure the coordinator surfaces in /progress.
+func (s *Store) Rows() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows
+}
+
+// Path returns the segment file path.
+func (s *Store) Path() string { return s.path }
+
+// Close closes the segment file.
+func (s *Store) Close() error { return s.f.Close() }
+
+// --- read side ---
+
+// Segment is a fully decoded segment file.
+type Segment struct {
+	Columns []string
+	Rows    []Row
+	// TruncatedBytes counts trailing bytes ignored as a torn or corrupt
+	// tail (0 for a cleanly written file).
+	TruncatedBytes int64
+}
+
+// ReadSegment decodes the segment at path. Tail corruption is not an
+// error: decoding stops at the first bad frame and reports how many
+// bytes were left behind, mirroring the writer's Open-time truncation.
+func ReadSegment(path string) (*Segment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(storeMagic) {
+		return &Segment{TruncatedBytes: int64(len(data))}, nil
+	}
+	if string(data[:len(storeMagic)]) != storeMagic {
+		return nil, fmt.Errorf("resultstore: %s: not a result store segment", path)
+	}
+	seg := &Segment{}
+	off := len(storeMagic)
+	for {
+		kind, payload, next, ok := nextBlock(data, off)
+		if !ok {
+			break
+		}
+		switch kind {
+		case blockColumns:
+			cols, ok := decodeColumns(payload, seg.Columns)
+			if !ok {
+				seg.TruncatedBytes = int64(len(data) - off)
+				return seg, nil
+			}
+			seg.Columns = cols
+		case blockRow:
+			r, ok := decodeRow(payload, seg.Columns)
+			if !ok {
+				seg.TruncatedBytes = int64(len(data) - off)
+				return seg, nil
+			}
+			seg.Rows = append(seg.Rows, r)
+		}
+		off = next
+	}
+	seg.TruncatedBytes = int64(len(data) - off)
+	return seg, nil
+}
+
+// Unique returns the rows deduplicated by identity (kind + name), first
+// occurrence winning — the read-side answer to re-appended rows from
+// coordinator restarts or resumed sweeps.
+func (s *Segment) Unique() []*Row {
+	seen := make(map[string]bool, len(s.Rows))
+	out := make([]*Row, 0, len(s.Rows))
+	for i := range s.Rows {
+		id := s.Rows[i].Identity()
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, &s.Rows[i])
+	}
+	return out
+}
+
+func decodeColumns(payload []byte, cols []string) ([]string, bool) {
+	n, payload, ok := readUvarint(payload)
+	if !ok {
+		return cols, false
+	}
+	for i := uint64(0); i < n; i++ {
+		var name string
+		name, payload, ok = readString(payload)
+		if !ok {
+			return cols, false
+		}
+		cols = append(cols, name)
+	}
+	return cols, len(payload) == 0
+}
+
+func decodeRow(payload []byte, cols []string) (Row, bool) {
+	var r Row
+	if len(payload) < 1+8+4+4+4+8+8+8+8 {
+		return r, false
+	}
+	switch payload[0] {
+	case rowKindCell:
+		r.Kind = KindCell
+	case rowKindGroup:
+		r.Kind = KindGroup
+	default:
+		return r, false
+	}
+	payload = payload[1:]
+	r.Seed = binary.LittleEndian.Uint64(payload)
+	r.Replica = int32(binary.LittleEndian.Uint32(payload[8:]))
+	r.Replicas = int32(binary.LittleEndian.Uint32(payload[12:]))
+	r.Hosts = int32(binary.LittleEndian.Uint32(payload[16:]))
+	r.Days = floatFromBits(binary.LittleEndian.Uint64(payload[20:]))
+	r.RONProbes = int64(binary.LittleEndian.Uint64(payload[28:]))
+	r.MeasureProbes = int64(binary.LittleEndian.Uint64(payload[36:]))
+	r.RouteChanges = int64(binary.LittleEndian.Uint64(payload[44:]))
+	payload = payload[52:]
+	var ok bool
+	if r.Name, payload, ok = readString(payload); !ok {
+		return r, false
+	}
+	if r.Group, payload, ok = readString(payload); !ok {
+		return r, false
+	}
+	if r.Dataset, payload, ok = readString(payload); !ok {
+		return r, false
+	}
+	if r.Snapshot, payload, ok = readString(payload); !ok {
+		return r, false
+	}
+	var n uint64
+	if n, payload, ok = readUvarint(payload); !ok {
+		return r, false
+	}
+	for i := uint64(0); i < n; i++ {
+		var kv AxisKV
+		if kv.Key, payload, ok = readString(payload); !ok {
+			return r, false
+		}
+		if kv.Value, payload, ok = readString(payload); !ok {
+			return r, false
+		}
+		r.Axes = append(r.Axes, kv)
+	}
+	if n, payload, ok = readUvarint(payload); !ok {
+		return r, false
+	}
+	for i := uint64(0); i < n; i++ {
+		var id uint64
+		if id, payload, ok = readUvarint(payload); !ok {
+			return r, false
+		}
+		if id >= uint64(len(cols)) || len(payload) < 8 {
+			return r, false
+		}
+		r.Metrics = append(r.Metrics, Metric{
+			Col: cols[id],
+			Val: floatFromBits(binary.LittleEndian.Uint64(payload)),
+		})
+		payload = payload[8:]
+	}
+	return r, len(payload) == 0
+}
+
+func readUvarint(b []byte) (uint64, []byte, bool) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, false
+	}
+	return v, b[n:], true
+}
+
+func readString(b []byte) (string, []byte, bool) {
+	n, b, ok := readUvarint(b)
+	if !ok || n > uint64(len(b)) {
+		return "", b, false
+	}
+	return string(b[:n]), b[n:], true
+}

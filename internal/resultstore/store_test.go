@@ -1,0 +1,272 @@
+package resultstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRows() []Row {
+	return []Row{
+		{
+			Kind: KindCell, Name: "grid-a-r00", Group: "grid-a", Dataset: "ronnarrow",
+			Replica: 0, Replicas: 1, Hosts: 12, Seed: 42, Days: 0.02,
+			RONProbes: 123456, MeasureProbes: 7890, RouteChanges: 17,
+			Snapshot: "cells/grid-a-r00.snap",
+			Axes:     []AxisKV{{"scenario", "outage"}, {"streams", "2"}},
+			Metrics: []Metric{
+				{"t5.rtt", 1}, {"t5.direct.order", 0}, {"t5.direct.totlp", 0.0213},
+				{"t6.worsthour", 0.31}, {"wl.bp.losspct", 4.5},
+			},
+		},
+		{
+			Kind: KindCell, Name: "grid-a-r01", Group: "grid-a", Dataset: "ronnarrow",
+			Replica: 1, Replicas: 1, Hosts: 12, Seed: 43, Days: 0.02,
+			RONProbes: 123999, MeasureProbes: 7891, RouteChanges: 21,
+			Snapshot: "cells/grid-a-r01.snap",
+			Axes:     []AxisKV{{"scenario", "outage"}, {"streams", "2"}},
+			Metrics: []Metric{
+				// Same columns in a different order plus one fresh column:
+				// exercises dictionary growth across appends.
+				{"t5.direct.totlp", 0.0219}, {"t5.rtt", 1},
+				{"rs.outages", 3}, {"t6.worsthour", 0.29},
+			},
+		},
+		{
+			Kind: KindGroup, Name: "grid-a", Group: "grid-a", Dataset: "ronnarrow",
+			Replica: -1, Replicas: 2, Hosts: 12, Seed: 0, Days: 0.02,
+			RONProbes: 247455, MeasureProbes: 15781, RouteChanges: 38,
+			Axes:    []AxisKV{{"scenario", "outage"}, {"streams", "2"}},
+			Metrics: []Metric{{"t5.rtt", 1}, {"t5.direct.totlp", 0.0216}},
+		},
+		{
+			// Degenerate row: no axes, no metrics, no snapshot.
+			Kind: KindCell, Name: "bare-r00", Group: "bare", Dataset: "synthetic",
+			Replica: 0, Replicas: 1, Hosts: 3, Seed: 7, Days: 1,
+		},
+	}
+}
+
+func writeSegment(t *testing.T, path string, rows []Row) {
+	t.Helper()
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		r := rows[i]
+		if err := st.Append(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), SegmentFileName)
+	rows := testRows()
+	writeSegment(t, path, rows)
+
+	seg, err := ReadSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.TruncatedBytes != 0 {
+		t.Fatalf("clean segment reports %d truncated bytes", seg.TruncatedBytes)
+	}
+	if len(seg.Rows) != len(rows) {
+		t.Fatalf("read %d rows, wrote %d", len(seg.Rows), len(rows))
+	}
+	for i := range rows {
+		if !reflect.DeepEqual(seg.Rows[i], rows[i]) {
+			t.Errorf("row %d round-trip mismatch:\n got %+v\nwant %+v", i, seg.Rows[i], rows[i])
+		}
+	}
+}
+
+func TestReopenExtends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), SegmentFileName)
+	rows := testRows()
+	writeSegment(t, path, rows[:2])
+
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Rows(); got != 2 {
+		t.Fatalf("reopened store reports %d rows, want 2", got)
+	}
+	for i := 2; i < len(rows); i++ {
+		r := rows[i]
+		if err := st.Append(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg, err := ReadSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seg.Rows) != len(rows) {
+		t.Fatalf("read %d rows after reopen, want %d", len(seg.Rows), len(rows))
+	}
+	for i := range rows {
+		if !reflect.DeepEqual(seg.Rows[i], rows[i]) {
+			t.Errorf("row %d mismatch after reopen-append", i)
+		}
+	}
+}
+
+// TestTruncationRecovery chops the segment at every byte offset,
+// reopens it (which must truncate the torn tail and keep every
+// CRC-complete row), appends a healing row, and verifies the result is
+// a clean prefix of the original plus the new row.
+func TestTruncationRecovery(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, SegmentFileName)
+	rows := testRows()
+	writeSegment(t, full, rows)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	heal := Row{Kind: KindCell, Name: "heal-r00", Group: "heal", Dataset: "synthetic",
+		Replicas: 1, Hosts: 2, Days: 0.5, Metrics: []Metric{{"t5.rtt", 0}}}
+
+	torn := filepath.Join(dir, "torn.seg")
+	for cut := 0; cut <= len(data); cut++ {
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(torn)
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		recovered := st.Rows()
+		h := heal
+		if err := st.Append(&h); err != nil {
+			t.Fatalf("cut %d: heal append: %v", cut, err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		seg, err := ReadSegment(torn)
+		if err != nil {
+			t.Fatalf("cut %d: read: %v", cut, err)
+		}
+		if seg.TruncatedBytes != 0 {
+			t.Fatalf("cut %d: healed segment still reports %d torn bytes", cut, seg.TruncatedBytes)
+		}
+		if int64(len(seg.Rows)) != recovered+1 {
+			t.Fatalf("cut %d: read %d rows, recovery reported %d", cut, len(seg.Rows), recovered)
+		}
+		n := len(seg.Rows) - 1
+		if n > len(rows) {
+			t.Fatalf("cut %d: recovered %d rows from a %d-row original", cut, n, len(rows))
+		}
+		for i := 0; i < n; i++ {
+			if !reflect.DeepEqual(seg.Rows[i], rows[i]) {
+				t.Fatalf("cut %d: recovered row %d is not the original prefix", cut, i)
+			}
+		}
+		if !reflect.DeepEqual(seg.Rows[n], heal) {
+			t.Fatalf("cut %d: healing row did not round-trip", cut)
+		}
+	}
+}
+
+func TestUniqueFirstWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), SegmentFileName)
+	rows := testRows()
+	dup := rows[0]
+	dup.Seed = 999 // re-appended after a coordinator restart, drifted payload
+	writeSegment(t, path, append(rows, dup))
+
+	seg, err := ReadSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniq := seg.Unique()
+	if len(uniq) != len(rows) {
+		t.Fatalf("Unique kept %d rows, want %d", len(uniq), len(rows))
+	}
+	if uniq[0].Seed != rows[0].Seed {
+		t.Fatalf("Unique kept the later duplicate (seed %d), want first occurrence (seed %d)",
+			uniq[0].Seed, rows[0].Seed)
+	}
+}
+
+func TestOpenRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notastore.seg")
+	if err := os.WriteFile(path, []byte("definitely not a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a file with the wrong magic")
+	}
+	if _, err := ReadSegment(path); err == nil {
+		t.Fatal("ReadSegment accepted a file with the wrong magic")
+	}
+}
+
+// FuzzSegmentRecovery flips one byte anywhere past the magic and checks
+// the reader's guarantee: whatever survives decoding is an exact prefix
+// of the original rows — corruption can shorten the store, never
+// fabricate or reorder rows.
+func FuzzSegmentRecovery(f *testing.F) {
+	path := filepath.Join(f.TempDir(), SegmentFileName)
+	rows := make([]Row, 0, 4)
+	st, err := Open(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, r := range testRows() {
+		rows = append(rows, r)
+		if err := st.Append(&r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		f.Fatal(err)
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(uint32(8), byte(1))
+	f.Add(uint32(9), byte(0xff))
+	f.Add(uint32(len(pristine)/2), byte(0x80))
+	f.Add(uint32(len(pristine)-1), byte(7))
+
+	f.Fuzz(func(t *testing.T, pos uint32, val byte) {
+		if int(pos) >= len(pristine) || pos < uint32(len(storeMagic)) {
+			t.Skip()
+		}
+		data := append([]byte(nil), pristine...)
+		data[pos] ^= val | 1 // guarantee at least one flipped bit
+		corrupt := filepath.Join(t.TempDir(), "corrupt.seg")
+		if err := os.WriteFile(corrupt, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		seg, err := ReadSegment(corrupt)
+		if err != nil {
+			t.Fatalf("ReadSegment errored on tail corruption: %v", err)
+		}
+		if len(seg.Rows) > len(rows) {
+			t.Fatalf("decoded %d rows from a %d-row original", len(seg.Rows), len(rows))
+		}
+		for i := range seg.Rows {
+			if !reflect.DeepEqual(seg.Rows[i], rows[i]) {
+				t.Fatalf("row %d after corruption at %d is not the original prefix", i, pos)
+			}
+		}
+	})
+}

@@ -1,0 +1,304 @@
+package resultstore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+)
+
+// Tables is the set of render-ready paper tables one result row
+// carries: the overview (Table 5 rows + latency label), the high-loss
+// hours (Table 6), and — when the campaign measured them — the workload
+// and resilience comparisons. Flatten turns a Tables into the row's
+// metric vector; RowTables rebuilds it from a stored row, and the two
+// round-trip exactly (floats travel as raw bits), so every rendered
+// table is reproducible from the store byte-for-byte.
+type Tables struct {
+	Overview     []analysis.MethodTotals
+	LatencyLabel string
+	Hours        analysis.Table6
+	Workload     *analysis.WorkloadTable
+	Resilience   *analysis.ResilienceTable
+}
+
+// Metric column naming. Method names may contain spaces ("direct
+// rand", "dd 10 ms") but never dots, so `<family>.<method>.<field>`
+// parses unambiguously by family prefix + last dot.
+const (
+	colRTT       = "t5.rtt"
+	colWorstHour = "t6.worsthour"
+)
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Flatten appends the tables' metric vector to dst. The emission order
+// is deterministic (overview rows in render order, then hours, then
+// workload, then resilience), so identical tables produce identical
+// vectors.
+func (t *Tables) Flatten(dst []Metric) []Metric {
+	dst = append(dst, Metric{colRTT, b2f(t.LatencyLabel == "RTT")})
+	for i := range t.Overview {
+		r := &t.Overview[i]
+		p := "t5." + r.Method + "."
+		dst = append(dst,
+			Metric{p + "order", float64(i)},
+			Metric{p + "probes", float64(r.Probes)},
+			Metric{p + "1lp", r.FirstLossPct},
+			Metric{p + "2lp", r.SecondLossPct},
+			Metric{p + "totlp", r.TotalLossPct},
+			Metric{p + "clp", r.CondLossPct},
+			Metric{p + "latns", float64(r.MeanLatency)},
+			Metric{p + "pair", b2f(r.Pair)},
+		)
+	}
+	dst = append(dst, Metric{colWorstHour, t.Hours.WorstHourPct})
+	for j, m := range t.Hours.Methods {
+		p := "t6." + m + "."
+		dst = append(dst,
+			Metric{p + "order", float64(j)},
+			Metric{p + "periods", float64(t.Hours.Periods[j])},
+		)
+		for k, thr := range t.Hours.Thresholds {
+			dst = append(dst, Metric{
+				p + "gt" + strconv.FormatFloat(thr, 'g', -1, 64),
+				float64(t.Hours.Counts[j][k]),
+			})
+		}
+	}
+	if w := t.Workload; w != nil {
+		dst = append(dst,
+			Metric{"wl.k", float64(w.DataShards)},
+			Metric{"wl.m", float64(w.ParityShards)},
+			Metric{"wl.paths", float64(w.Paths)},
+			Metric{"wl.reconfail", float64(w.ReconstructFailures)},
+			Metric{"wl.overhead", w.Overhead},
+		)
+		for i, p := range [...]string{"wl.bp.", "wl.mp."} {
+			v := &w.Rows[i]
+			dst = append(dst,
+				Metric{p + "frames", float64(v.FramesSent)},
+				Metric{p + "losspct", v.FrameLossPct},
+				Metric{p + "shardpct", v.ShardLossPct},
+				Metric{p + "latns", float64(v.MeanLatency)},
+				Metric{p + "p95latms", v.P95LatencyMs},
+				Metric{p + "strm50pct", v.StreamLoss50Pct},
+			)
+		}
+	}
+	if s := t.Resilience; s != nil {
+		dst = append(dst, Metric{"rs.outages", float64(s.UnderlayOutages)})
+		for i, p := range [...]string{"rs.bp.", "rs.mp."} {
+			v := &s.Rows[i]
+			dst = append(dst,
+				Metric{p + "probes", float64(v.ProbesSent)},
+				Metric{p + "availpct", v.AvailabilityPct},
+				Metric{p + "maskedpct", v.MaskedPct},
+				Metric{p + "ttrns", float64(v.MeanTTR)},
+				Metric{p + "p95ttrs", v.P95TTRSeconds},
+			)
+		}
+	}
+	return dst
+}
+
+// RowTables rebuilds the render-ready tables from a stored row's metric
+// vector. Columns outside the table families (drill-down extras like
+// win20.*) are ignored. The vector's in-row emission order is the
+// round-trip guarantee: thresholds and rows come back in the order they
+// were flattened.
+func RowTables(r *Row) (*Tables, error) {
+	t := &Tables{LatencyLabel: "lat"}
+	type t6row struct {
+		order   int
+		periods int64
+		thr     []float64
+		counts  []int64
+	}
+	t5 := map[string]*analysis.MethodTotals{}
+	t5order := map[string]int{}
+	t6 := map[string]*t6row{}
+	var t5names, t6names []string
+	wlSeen, rsSeen := false, false
+	var wl analysis.WorkloadTable
+	var rs analysis.ResilienceTable
+
+	for i := range r.Metrics {
+		col, val := r.Metrics[i].Col, r.Metrics[i].Val
+		switch {
+		case col == colRTT:
+			if val != 0 {
+				t.LatencyLabel = "RTT"
+			}
+		case col == colWorstHour:
+			t.Hours.WorstHourPct = val
+		case strings.HasPrefix(col, "t5."):
+			method, field, ok := splitMethodCol(col[len("t5."):])
+			if !ok {
+				return nil, fmt.Errorf("resultstore: bad overview column %q", col)
+			}
+			mt := t5[method]
+			if mt == nil {
+				mt = &analysis.MethodTotals{Method: method}
+				t5[method] = mt
+				t5names = append(t5names, method)
+			}
+			switch field {
+			case "order":
+				t5order[method] = int(val)
+			case "probes":
+				mt.Probes = int64(val)
+			case "1lp":
+				mt.FirstLossPct = val
+			case "2lp":
+				mt.SecondLossPct = val
+			case "totlp":
+				mt.TotalLossPct = val
+			case "clp":
+				mt.CondLossPct = val
+			case "latns":
+				mt.MeanLatency = time.Duration(int64(val))
+			case "pair":
+				mt.Pair = val != 0
+			}
+		case strings.HasPrefix(col, "t6."):
+			method, field, ok := splitMethodCol(col[len("t6."):])
+			if !ok {
+				return nil, fmt.Errorf("resultstore: bad hours column %q", col)
+			}
+			row := t6[method]
+			if row == nil {
+				row = &t6row{}
+				t6[method] = row
+				t6names = append(t6names, method)
+			}
+			switch {
+			case field == "order":
+				row.order = int(val)
+			case field == "periods":
+				row.periods = int64(val)
+			case strings.HasPrefix(field, "gt"):
+				thr, err := strconv.ParseFloat(field[2:], 64)
+				if err != nil {
+					return nil, fmt.Errorf("resultstore: bad hours column %q", col)
+				}
+				row.thr = append(row.thr, thr)
+				row.counts = append(row.counts, int64(val))
+			}
+		case strings.HasPrefix(col, "wl."):
+			wlSeen = true
+			decodeWorkloadCol(&wl, col[len("wl."):], val)
+		case strings.HasPrefix(col, "rs."):
+			rsSeen = true
+			decodeResilienceCol(&rs, col[len("rs."):], val)
+		}
+	}
+
+	sort.SliceStable(t5names, func(a, b int) bool { return t5order[t5names[a]] < t5order[t5names[b]] })
+	for _, m := range t5names {
+		t.Overview = append(t.Overview, *t5[m])
+	}
+	sort.SliceStable(t6names, func(a, b int) bool { return t6[t6names[a]].order < t6[t6names[b]].order })
+	for _, m := range t6names {
+		row := t6[m]
+		if t.Hours.Thresholds == nil {
+			t.Hours.Thresholds = row.thr
+		} else if len(row.thr) != len(t.Hours.Thresholds) {
+			return nil, fmt.Errorf("resultstore: hours threshold mismatch for method %q", m)
+		}
+		t.Hours.Methods = append(t.Hours.Methods, m)
+		t.Hours.Periods = append(t.Hours.Periods, row.periods)
+		t.Hours.Counts = append(t.Hours.Counts, row.counts)
+	}
+	if wlSeen {
+		t.Workload = &wl
+	}
+	if rsSeen {
+		t.Resilience = &rs
+	}
+	return t, nil
+}
+
+// splitMethodCol splits "<method>.<field>" at the last dot.
+func splitMethodCol(s string) (method, field string, ok bool) {
+	i := strings.LastIndexByte(s, '.')
+	if i <= 0 || i == len(s)-1 {
+		return "", "", false
+	}
+	return s[:i], s[i+1:], true
+}
+
+func decodeWorkloadCol(w *analysis.WorkloadTable, field string, val float64) {
+	var row *analysis.WorkloadTableRow
+	switch {
+	case strings.HasPrefix(field, "bp."):
+		row, field = &w.Rows[analysis.WorkloadBestPath], field[3:]
+	case strings.HasPrefix(field, "mp."):
+		row, field = &w.Rows[analysis.WorkloadMultiPath], field[3:]
+	}
+	if row == nil {
+		switch field {
+		case "k":
+			w.DataShards = int(val)
+		case "m":
+			w.ParityShards = int(val)
+		case "paths":
+			w.Paths = int(val)
+		case "reconfail":
+			w.ReconstructFailures = int64(val)
+		case "overhead":
+			w.Overhead = val
+		}
+		return
+	}
+	switch field {
+	case "frames":
+		row.FramesSent = int64(val)
+	case "losspct":
+		row.FrameLossPct = val
+	case "shardpct":
+		row.ShardLossPct = val
+	case "latns":
+		row.MeanLatency = time.Duration(int64(val))
+	case "p95latms":
+		row.P95LatencyMs = val
+	case "strm50pct":
+		row.StreamLoss50Pct = val
+	}
+}
+
+func decodeResilienceCol(s *analysis.ResilienceTable, field string, val float64) {
+	var row *analysis.ResilienceTableRow
+	switch {
+	case strings.HasPrefix(field, "bp."):
+		row, field = &s.Rows[analysis.ResilienceBestPath], field[3:]
+	case strings.HasPrefix(field, "mp."):
+		row, field = &s.Rows[analysis.ResilienceMultiPath], field[3:]
+	}
+	if row == nil {
+		if field == "outages" {
+			s.UnderlayOutages = int64(val)
+		}
+		return
+	}
+	switch field {
+	case "probes":
+		row.ProbesSent = int64(val)
+	case "availpct":
+		row.AvailabilityPct = val
+	case "maskedpct":
+		row.MaskedPct = val
+	case "ttrns":
+		row.MeanTTR = time.Duration(int64(val))
+	case "p95ttrs":
+		row.P95TTRSeconds = val
+	}
+}
