@@ -45,23 +45,58 @@ func runCampaign(b *testing.B, d core.Dataset, days float64) *core.Result {
 	return res
 }
 
-// BenchmarkCampaign is the headline throughput number: one compressed
-// RONnarrow campaign per iteration, reporting virtual probes simulated
-// per wall-clock second (measurement + routing probes; the campaign's
-// unit of work). The sweep engine and the month-long-run ambitions of
-// the ROADMAP scale linearly with this.
+// scaleBenchDays is the virtual length of the overlay-size scaling
+// benchmarks. Much shorter than benchDays: a fullmesh n=1024 cell sends
+// ~1M routing probes per 15 s virtual interval, so a couple of virtual
+// minutes is already a representative slice of the O(n²) regime.
+const scaleBenchDays = 0.001
+
+// BenchmarkCampaign is the headline throughput group, reporting virtual
+// probes simulated per wall-clock second (measurement + routing probes;
+// the campaign's unit of work). "paper" is the historical compressed
+// RONnarrow campaign over the 2002 testbed; the n=… curves run the same
+// campaign over synthetic overlays of that size, under the full-mesh
+// probing default and (−lm) the landmark policy, recording the scaling
+// law the big-world work targets. The sweep engine and the
+// month-long-run ambitions of the ROADMAP scale linearly with "paper".
 func BenchmarkCampaign(b *testing.B) {
-	var res *core.Result
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res = runCampaign(b, core.RONnarrow, benchDays)
+	runBody := func(b *testing.B, cfg core.Config) {
+		var res *core.Result
+		var err error
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err = core.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		probes := res.MeasureProbes + res.RONProbes
+		probesPerSec := float64(probes) * float64(b.N) /
+			b.Elapsed().Seconds()
+		b.ReportMetric(probesPerSec, "probes/sec")
 	}
-	b.StopTimer()
-	probes := res.MeasureProbes + res.RONProbes
-	probesPerSec := float64(probes) * float64(b.N) /
-		b.Elapsed().Seconds()
-	b.ReportMetric(probesPerSec, "probes/sec")
+	b.Run("paper", func(b *testing.B) {
+		cfg := core.DefaultConfig(core.RONnarrow, benchDays)
+		cfg.Seed = 1
+		runBody(b, cfg)
+	})
+	for _, n := range []int{64, 256, 1024} {
+		for _, pol := range []core.Policy{core.PolicyFullMesh, core.PolicyLandmark} {
+			name := fmt.Sprintf("n=%d", n)
+			if pol == core.PolicyLandmark {
+				name += "-lm"
+			}
+			b.Run(name, func(b *testing.B) {
+				cfg := core.DefaultConfig(core.RONnarrow, scaleBenchDays)
+				cfg.Seed = 1
+				cfg.Nodes = n
+				cfg.Policy = pol
+				runBody(b, cfg)
+			})
+		}
+	}
 }
 
 // BenchmarkTable5_RON2003 regenerates Table 5's 2003 half: the eight

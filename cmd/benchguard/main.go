@@ -154,7 +154,8 @@ func main() {
 		input    = flag.String("input", "-", "benchmark source: a `go test -bench` output file, or a benchguard JSON artifact (detected by leading '{'); '-' reads stdin")
 		baseline = flag.String("baseline", "", "committed BENCH_campaign.json to compare against (its 'post' section)")
 		maxNs    = flag.Float64("max-ns-regress", 0.10, "maximum fractional ns/op regression on the -ns-checked benchmarks")
-		nsules   = flag.String("ns-checked", "BenchmarkSweep/serial,BenchmarkSweepTurnover,BenchmarkWorkloadCell,BenchmarkCampaign,BenchmarkNetworkSendDirect,BenchmarkAggregatorObserve,BenchmarkSelectorSnapshot", "comma-separated benchmarks whose ns/op regressions fail the guard")
+		nsules   = flag.String("ns-checked", "BenchmarkSweep/serial,BenchmarkSweepTurnover,BenchmarkWorkloadCell,BenchmarkCampaign/paper,BenchmarkNetworkSendDirect,BenchmarkAggregatorObserve,BenchmarkSelectorSnapshot", "comma-separated benchmarks whose ns/op regressions fail the guard")
+		speedups = flag.String("min-speedup", "BenchmarkCampaign/n=1024:BenchmarkCampaign/n=1024-lm:5", "comma-separated slow:fast:ratio triples: when both benchmarks appear in the input, slow's ns/op must be at least ratio times fast's (the committed curve records 10.8x at n=1024; the gate floor absorbs runner noise)")
 		cal      = flag.String("calibrate", "BenchmarkComponentTransit", "benchmark used to normalize machine speed before ns/op checks ('' disables): baseline ns values are scaled by this benchmark's current/baseline ratio, clamped to [0.5,2], so the guard measures hot-path regressions relative to the machine's arithmetic speed instead of raw cross-machine deltas")
 		zeroed   = flag.String("zero-allocs", "BenchmarkNetworkSendDirect,BenchmarkAggregatorObserve,BenchmarkSelectorSnapshot,BenchmarkSelectorBestLoss,BenchmarkComponentTransit,BenchmarkStoreAppend", "comma-separated benchmarks that must report exactly 0 allocs/op")
 	)
@@ -248,6 +249,33 @@ func main() {
 					"%s: ns/op regressed %.0f -> %.0f (+%.1f%% vs calibrated baseline, limit %.0f%%)",
 					name, scaled, got.NsPerOp, 100*ratio, 100**maxNs))
 			}
+		}
+	}
+	// Relative-speedup gates compare two benchmarks of the same run, so
+	// they are machine-independent: the n-scaling claim (landmark probing
+	// beats full-mesh at n=1024) is enforced wherever both curves ran.
+	for _, spec := range strings.Split(*speedups, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			fail("bad -min-speedup entry %q (want slow:fast:ratio)", spec)
+		}
+		minRatio, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			fail("bad -min-speedup ratio in %q: %v", spec, err)
+		}
+		slow, okS := current[parts[0]]
+		fast, okF := current[parts[1]]
+		if !okS || !okF {
+			continue // partial runs skip the gate
+		}
+		if fast.NsPerOp <= 0 || slow.NsPerOp/fast.NsPerOp < minRatio {
+			failures = append(failures, fmt.Sprintf(
+				"%s is only %.1fx slower than %s, want >= %.1fx (scaling-law regression)",
+				parts[0], slow.NsPerOp/fast.NsPerOp, parts[1], minRatio))
 		}
 	}
 	if compared == 0 {

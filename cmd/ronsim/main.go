@@ -102,8 +102,10 @@ func main() {
 	)
 	// Every registered axis (standard and custom alike) derives its
 	// value-list flag from the registry; the profile axis is driven by
-	// the -lossscale/-edgeshare pair above instead.
-	collectAxisFlags := experiment.RegisterAxisFlags(flag.CommandLine)
+	// the -lossscale/-edgeshare pair above instead. In single-campaign
+	// mode an axis flag carries exactly one value and applies straight
+	// to the config; in sweep mode value lists expand the grid.
+	collectAxisFlags := experiment.RegisterAxisValueFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Profiling hooks so perf work on the campaign engine starts from a
@@ -155,9 +157,13 @@ func main() {
 			}
 			datasets = []core.Dataset{d}
 		}
-		axisOpts, err := collectAxisFlags()
+		axes, err := collectAxisFlags()
 		if err != nil {
 			fatal(err)
+		}
+		var axisOpts []experiment.Option
+		for _, a := range axes {
+			axisOpts = append(axisOpts, experiment.Axes(a))
 		}
 		if err := runSweep(sweepFlags{
 			datasets:  datasets,
@@ -181,9 +187,13 @@ func main() {
 		return
 	}
 
+	axes, err := collectAxisFlags()
+	if err != nil {
+		fatal(err)
+	}
 	if *all {
 		for _, d := range allDatasets {
-			if err := runDataset(d, *days, *seed, *outDir, "", *workload); err != nil {
+			if err := runDataset(d, *days, *seed, *outDir, "", *workload, axes); err != nil {
 				fatal(err)
 			}
 		}
@@ -194,7 +204,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := runDataset(d, *days, *seed, *outDir, *traceTo, *workload); err != nil {
+	if err := runDataset(d, *days, *seed, *outDir, *traceTo, *workload, axes); err != nil {
 		fatal(err)
 	}
 	if d == core.RON2003 {
@@ -623,11 +633,34 @@ func manifestTracePath(manifestDir, tracePath string) string {
 	return pathAbs
 }
 
-func runDataset(d core.Dataset, days float64, seed uint64, outDir, traceTo string, workload bool) error {
+// applySingleAxes applies single-campaign axis flag values to cfg. A
+// value list is a grid, and a grid needs -sweep — rejecting it here
+// keeps a forgotten -sweep from silently running only part of one.
+func applySingleAxes(cfg *core.Config, axes []core.Axis) error {
+	for _, a := range axes {
+		flagName := a.Name()
+		if def, ok := core.LookupAxis(a.Name()); ok && def.Flag != "" {
+			flagName = def.Flag
+		}
+		vals := a.Values()
+		if len(vals) != 1 {
+			return fmt.Errorf("-%s: a single campaign takes one value per axis; value lists need -sweep", flagName)
+		}
+		if err := a.Apply(vals[0], cfg); err != nil {
+			return fmt.Errorf("-%s: %w", flagName, err)
+		}
+	}
+	return nil
+}
+
+func runDataset(d core.Dataset, days float64, seed uint64, outDir, traceTo string, workload bool, axes []core.Axis) error {
 	cfg := core.DefaultConfig(d, days)
 	cfg.Seed = seed
 	if workload {
 		cfg.Workload = core.DefaultWorkloadConfig()
+	}
+	if err := applySingleAxes(&cfg, axes); err != nil {
+		return err
 	}
 
 	var traceW *trace.Writer

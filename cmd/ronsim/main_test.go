@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/experiment"
@@ -19,6 +20,36 @@ func TestParsePositiveFloat(t *testing.T) {
 		if _, err := experiment.ParseList("lossscale", bad, parsePositiveFloat); err == nil {
 			t.Errorf("ParseList(parsePositiveFloat) accepted %q", bad)
 		}
+	}
+}
+
+// TestApplySingleAxes: in single-campaign mode an axis flag applies
+// its one value straight to the config, and a value list (a grid) is
+// an explicit error pointing at -sweep — never a silent no-op.
+func TestApplySingleAxes(t *testing.T) {
+	overlay, err := experiment.NewAxis("overlaysize", "96")
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := experiment.NewAxis("policy", "landmark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(core.RONnarrow, 0.01)
+	if err := applySingleAxes(&cfg, []core.Axis{overlay, policy}); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Nodes != 96 || cfg.Policy != core.PolicyLandmark {
+		t.Fatalf("applied config Nodes=%d Policy=%v, want 96/landmark", cfg.Nodes, cfg.Policy)
+	}
+
+	grid, err := experiment.NewAxis("overlaysize", "0", "96")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = applySingleAxes(&cfg, []core.Axis{grid})
+	if err == nil || !strings.Contains(err.Error(), "-nodes") || !strings.Contains(err.Error(), "-sweep") {
+		t.Fatalf("value list error = %v, want mention of -nodes and -sweep", err)
 	}
 }
 

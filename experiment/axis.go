@@ -84,6 +84,14 @@ var (
 	RedundancyAxis    = core.RedundancyAxis
 	PathCountAxis     = core.PathCountAxis
 	StreamsAxis       = core.StreamsAxis
+	OverlaySizeAxis   = core.OverlaySizeAxis
+	PolicyAxis        = core.PolicyAxis
+)
+
+// The probing policies, re-exported for typed PolicyAxis use.
+const (
+	PolicyFullMesh = core.PolicyFullMesh
+	PolicyLandmark = core.PolicyLandmark
 )
 
 // DefaultWorkloadConfig is the workload configuration the workload
@@ -101,6 +109,26 @@ func DefaultWorkloadConfig() WorkloadConfig { return core.DefaultWorkloadConfig(
 // the same grid, and omitting untouched custom axes keeps
 // coordinate-derived seeds stable.
 func RegisterAxisFlags(fs *flag.FlagSet) func() ([]Option, error) {
+	collect := RegisterAxisValueFlags(fs)
+	return func() ([]Option, error) {
+		axes, err := collect()
+		if err != nil {
+			return nil, err
+		}
+		var opts []Option
+		for _, a := range axes {
+			opts = append(opts, Axes(a))
+		}
+		return opts, nil
+	}
+}
+
+// RegisterAxisValueFlags is RegisterAxisFlags without the Option
+// wrapping: the returned collector yields the parsed Axis for every
+// flag that departed from its default value list. Single-campaign
+// front-ends use it to apply one-value axes directly to a campaign
+// config instead of expanding a grid.
+func RegisterAxisValueFlags(fs *flag.FlagSet) func() ([]Axis, error) {
 	type reg struct {
 		def AxisDef
 		val *string
@@ -110,29 +138,37 @@ func RegisterAxisFlags(fs *flag.FlagSet) func() ([]Option, error) {
 		if def.Usage == "" {
 			continue
 		}
-		regs = append(regs, reg{def, fs.String(def.Name, def.Default, def.Usage)})
+		name := def.Name
+		if def.Flag != "" {
+			name = def.Flag
+		}
+		regs = append(regs, reg{def, fs.String(name, def.Default, def.Usage)})
 	}
-	return func() ([]Option, error) {
-		var opts []Option
+	return func() ([]Axis, error) {
+		var axes []Axis
 		for _, r := range regs {
 			axis, err := axisFromFlag(r.def, *r.val)
 			if err != nil {
 				return nil, err
 			}
 			if axis != nil {
-				opts = append(opts, Axes(axis))
+				axes = append(axes, axis)
 			}
 		}
-		return opts, nil
+		return axes, nil
 	}
 }
 
 // axisFromFlag parses one axis flag value, returning nil when the
 // canonical values equal the flag default's.
 func axisFromFlag(def AxisDef, value string) (Axis, error) {
+	flagName := def.Name
+	if def.Flag != "" {
+		flagName = def.Flag
+	}
 	axis, err := NewAxis(def.Name, SplitList(value)...)
 	if err != nil {
-		return nil, fmt.Errorf("-%s: %w", def.Name, err)
+		return nil, fmt.Errorf("-%s: %w", flagName, err)
 	}
 	defAxis, err := NewAxis(def.Name, SplitList(def.Default)...)
 	if err != nil {

@@ -3,6 +3,7 @@ package analysis
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 )
 
@@ -61,6 +62,17 @@ type Aggregator struct {
 
 	perPath [][]pathStats // [method][src*nHosts+dst]
 
+	// touched[m] lists the path indices with at least one observation
+	// for method m (probes > 0, appended on the 0→1 transition). Reset,
+	// Flush, and every per-path query iterate this list instead of the
+	// full nHosts² slab, so their cost scales with paths actually
+	// probed — under the landmark policy that is O(n·√n) of an O(n²)
+	// slab. Rows are kept sorted lazily (touchedSorted) because queries
+	// that accumulate floats or feed CDFs must visit paths in the same
+	// ascending order a full scan would.
+	touched       [][]int32
+	touchedSorted []bool
+
 	// Window machinery: the 20-minute windows (Figure 3) pool flushed
 	// samples across paths per method; the 1-hour windows (Table 6)
 	// count path-hours whose effective loss rate exceeded each
@@ -101,16 +113,18 @@ func NewAggregator(methods []string, nHosts int) *Aggregator {
 	}
 	nm := len(methods)
 	a := &Aggregator{
-		methods:     append([]string(nil), methods...),
-		nHosts:      nHosts,
-		nPaths:      nHosts * nHosts,
-		perPath:     make([][]pathStats, nm),
-		wins:        make([][]pathWindows, nm),
-		win20Rates:  make([]*CDF, nm),
-		hourCounts:  make([][]int64, nm),
-		hourPeriods: make([]int64, nm),
-		hodSent:     make([][24]int64, nm),
-		hodLost:     make([][24]int64, nm),
+		methods:       append([]string(nil), methods...),
+		nHosts:        nHosts,
+		nPaths:        nHosts * nHosts,
+		perPath:       make([][]pathStats, nm),
+		wins:          make([][]pathWindows, nm),
+		win20Rates:    make([]*CDF, nm),
+		hourCounts:    make([][]int64, nm),
+		hourPeriods:   make([]int64, nm),
+		hodSent:       make([][24]int64, nm),
+		hodLost:       make([][24]int64, nm),
+		touched:       make([][]int32, nm),
+		touchedSorted: make([]bool, nm),
 	}
 	// The per-method arrays are carved from three slabs (an aggregator
 	// is built per sweep cell, so constructor allocation count scales
@@ -118,11 +132,14 @@ func NewAggregator(methods []string, nHosts int) *Aggregator {
 	// one row from stomping its neighbor; nothing appends to these.
 	pathSlab := make([]pathStats, nm*a.nPaths)
 	winSlab := make([]pathWindows, nm*a.nPaths)
+	touchSlab := make([]int32, nm*a.nPaths)
 	hourSlab := make([]int64, nm*len(Table6Thresholds))
 	cdfs := make([]CDF, nm)
 	for m := 0; m < nm; m++ {
 		a.perPath[m] = pathSlab[m*a.nPaths : (m+1)*a.nPaths : (m+1)*a.nPaths]
 		a.wins[m] = winSlab[m*a.nPaths : (m+1)*a.nPaths : (m+1)*a.nPaths]
+		a.touched[m] = touchSlab[m*a.nPaths : m*a.nPaths : (m+1)*a.nPaths]
+		a.touchedSorted[m] = true
 		for p := range a.wins[m] {
 			a.wins[m][p].w20.index = -1
 			a.wins[m][p].w60.index = -1
@@ -141,13 +158,17 @@ func NewAggregator(methods []string, nHosts int) *Aggregator {
 // O(methods × hosts²) allocation.
 func (a *Aggregator) Reset() {
 	for m := range a.methods {
-		clear(a.perPath[m])
-		for p := range a.wins[m] {
-			a.wins[m][p] = pathWindows{
+		// Only paths that were observed have non-fresh state; clearing
+		// just those keeps cell turnover O(paths probed), not O(hosts²).
+		for _, pi := range a.touched[m] {
+			a.perPath[m][pi] = pathStats{}
+			a.wins[m][pi] = pathWindows{
 				w20: windowState{index: -1},
 				w60: windowState{index: -1},
 			}
 		}
+		a.touched[m] = a.touched[m][:0]
+		a.touchedSorted[m] = true
 		a.win20Rates[m].Reset()
 		clear(a.hourCounts[m])
 		a.hodSent[m] = [24]int64{}
@@ -178,6 +199,19 @@ func (a *Aggregator) MethodIndex(name string) int {
 
 func (a *Aggregator) pathIndex(src, dst int) int { return src*a.nHosts + dst }
 
+// touchedPaths returns method m's observed path indices in ascending
+// order. Queries iterate it in place of a full 0..nPaths scan; ascending
+// order makes float accumulations and CDF feeds visit paths exactly as
+// the full scan would, so results are bit-identical (skipped paths are
+// all-zero and contribute exact 0.0 terms or fail every filter).
+func (a *Aggregator) touchedPaths(m int) []int32 {
+	if !a.touchedSorted[m] {
+		slices.Sort(a.touched[m])
+		a.touchedSorted[m] = true
+	}
+	return a.touched[m]
+}
+
 // Observe folds one probe outcome into every statistic. Observations for
 // a given (method, path) must arrive in nondecreasing time order (window
 // bookkeeping); different paths may interleave arbitrarily.
@@ -194,6 +228,10 @@ func (a *Aggregator) observe(o *Observation) {
 	pi := a.pathIndex(o.Src, o.Dst)
 	ps := &a.perPath[o.Method][pi]
 
+	if ps.probes == 0 {
+		a.touched[o.Method] = append(a.touched[o.Method], int32(pi))
+		a.touchedSorted[o.Method] = false
+	}
 	ps.probes++
 	ps.firstSent++
 	if o.Lost[0] {
@@ -293,7 +331,7 @@ func (a *Aggregator) flushHour(method int, rate float64) {
 // ends so partial windows contribute their samples.
 func (a *Aggregator) Flush() {
 	for m := range a.methods {
-		for pi := 0; pi < a.nPaths; pi++ {
+		for _, pi := range a.touchedPaths(m) {
 			pw := &a.wins[m][pi]
 			if w := &pw.w20; w.index >= 0 && w.sent > 0 {
 				a.win20Rates[m].Add(float64(w.lost) / float64(w.sent))
@@ -341,8 +379,12 @@ func (a *Aggregator) Merge(other *Aggregator) error {
 	a.Flush()
 	other.Flush()
 	for m := range a.methods {
-		for pi := 0; pi < a.nPaths; pi++ {
+		for _, pi := range other.touchedPaths(m) {
 			ps, os := &a.perPath[m][pi], &other.perPath[m][pi]
+			if ps.probes == 0 {
+				a.touched[m] = append(a.touched[m], pi)
+				a.touchedSorted[m] = false
+			}
 			ps.probes += os.probes
 			ps.firstSent += os.firstSent
 			ps.firstLost += os.firstLost
@@ -404,7 +446,7 @@ type MethodTotals struct {
 // Totals computes the aggregate row for one method across all paths.
 func (a *Aggregator) Totals(method int) MethodTotals {
 	var sum pathStats
-	for pi := 0; pi < a.nPaths; pi++ {
+	for _, pi := range a.touchedPaths(method) {
 		ps := &a.perPath[method][pi]
 		sum.probes += ps.probes
 		sum.firstSent += ps.firstSent
@@ -448,7 +490,7 @@ func (a *Aggregator) Totals(method int) MethodTotals {
 func (a *Aggregator) InferredSingle(method, copy int, name string) MethodTotals {
 	var sent, lost, latN int64
 	var latSum float64
-	for pi := 0; pi < a.nPaths; pi++ {
+	for _, pi := range a.touchedPaths(method) {
 		ps := &a.perPath[method][pi]
 		if copy == 0 {
 			sent += ps.firstSent
@@ -517,7 +559,7 @@ func (a *Aggregator) HighLossHours() Table6 {
 // with at least minProbes observations.
 func (a *Aggregator) PathLossCDF(method, minProbes int) *CDF {
 	c := &CDF{}
-	for pi := 0; pi < a.nPaths; pi++ {
+	for _, pi := range a.touchedPaths(method) {
 		ps := &a.perPath[method][pi]
 		if ps.probes < int64(minProbes) || ps.probes == 0 {
 			continue
@@ -538,7 +580,7 @@ func (a *Aggregator) WindowRateCDF(method int) *CDF {
 // one first-copy loss, for a two-copy method.
 func (a *Aggregator) CLPByPathCDF(method int) *CDF {
 	c := &CDF{}
-	for pi := 0; pi < a.nPaths; pi++ {
+	for _, pi := range a.touchedPaths(method) {
 		ps := &a.perPath[method][pi]
 		if ps.firstLost == 0 || ps.secondSent == 0 {
 			continue
@@ -554,7 +596,7 @@ func (a *Aggregator) CLPByPathCDF(method int) *CDF {
 // reference (and 0 floor) to include all paths.
 func (a *Aggregator) PathLatencyCDF(method, refMethod int, minRef time.Duration) *CDF {
 	c := &CDF{}
-	for pi := 0; pi < a.nPaths; pi++ {
+	for _, pi := range a.touchedPaths(method) {
 		ref := &a.perPath[refMethod][pi]
 		if ref.latN == 0 {
 			continue
@@ -575,13 +617,8 @@ func (a *Aggregator) PathLatencyCDF(method, refMethod int, minRef time.Duration)
 // PathCount returns how many ordered paths have observations for the
 // method (useful for reporting "on the N paths on which...").
 func (a *Aggregator) PathCount(method int) int {
-	n := 0
-	for pi := 0; pi < a.nPaths; pi++ {
-		if a.perPath[method][pi].probes > 0 {
-			n++
-		}
-	}
-	return n
+	// Membership in touched is exactly probes > 0.
+	return len(a.touched[method])
 }
 
 // PathTotals exposes one path's raw counters for a method (testing and
@@ -595,7 +632,7 @@ func (a *Aggregator) PathTotals(method, src, dst int) (probes, firstLost, bothLo
 func (a *Aggregator) String() string {
 	var total int64
 	for m := range a.methods {
-		for pi := 0; pi < a.nPaths; pi++ {
+		for _, pi := range a.touched[m] {
 			total += a.perPath[m][pi].probes
 		}
 	}

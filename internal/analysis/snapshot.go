@@ -311,6 +311,14 @@ func UnmarshalAggregator(data []byte) (*Aggregator, error) {
 			ps.lat2SumNS = r.f64()
 			ps.lat2N = r.i64()
 		}
+		// Rebuild the touched-path index the live aggregator maintains
+		// incrementally: the snapshot stores the dense slab, and every
+		// O(touched) query and Reset depends on this list being exact.
+		for pi := 0; pi < a.nPaths; pi++ {
+			if a.perPath[m][pi].probes > 0 {
+				a.touched[m] = append(a.touched[m], int32(pi))
+			}
+		}
 	}
 	for m := 0; m < nm; m++ {
 		n := int(r.u32())

@@ -21,14 +21,19 @@ import (
 // per worker goroutine. The zero Arena is not usable — construct with
 // NewArena.
 type Arena struct {
-	// Per-dataset construction caches: the testbed and method list are
-	// immutable once built, so cells sharing a dataset share them.
+	// Per-topology construction caches: the testbed and method list are
+	// immutable once built, so cells sharing a (dataset, overlay size)
+	// share them.
 	haveCache  bool
 	dataset    Dataset
+	nodes      int
 	overridden bool // last cell supplied Config.Methods explicitly
 	tb         *topo.Testbed
 	methods    []route.Method
 	names      []string
+	// plan caches the landmark plan per overlay size — it derives from n
+	// alone, so landmark cells of one sweep share it.
+	plan *route.LandmarkPlan
 
 	nw  *netsim.Network
 	sel *route.Selector
@@ -57,13 +62,13 @@ func (a *Arena) Run(cfg Config) (*Result, error) { return a.run(cfg, false) }
 // per-cell construction cost.
 func (a *Arena) RunRetained(cfg Config) (*Result, error) { return a.run(cfg, true) }
 
-// prepare refreshes the testbed/method caches for the cell's dataset.
+// prepare refreshes the testbed/method caches for the cell's topology.
 func (a *Arena) prepare(cfg Config) {
-	sameDataset := a.haveCache && a.dataset == cfg.Dataset
-	if !sameDataset {
+	sameTopo := a.haveCache && a.dataset == cfg.Dataset && a.nodes == cfg.Nodes
+	if !sameTopo {
 		a.tb = cfg.testbed()
 	}
-	if !sameDataset || cfg.Methods != nil || a.overridden {
+	if !sameTopo || cfg.Methods != nil || a.overridden {
 		if cfg.Methods != nil {
 			a.methods = cfg.Methods
 		} else {
@@ -76,6 +81,7 @@ func (a *Arena) prepare(cfg Config) {
 		a.overridden = cfg.Methods != nil
 	}
 	a.dataset = cfg.Dataset
+	a.nodes = cfg.Nodes
 	a.haveCache = true
 }
 
@@ -98,6 +104,12 @@ func sameNames(a, b []string) bool {
 // Run construction exactly — same seeds, same draw order — with every
 // constructor swapped for its in-place Reset twin when shapes allow.
 func (a *Arena) run(cfg Config, retain bool) (*Result, error) {
+	// Topology bounds come first: prepare constructs the testbed, and an
+	// out-of-range overlay size must fail with a clear error instead of
+	// panicking inside the generator or allocating an O(n²) slab.
+	if err := cfg.validateTopology(); err != nil {
+		return nil, err
+	}
 	a.prepare(cfg)
 	if err := cfg.validate(a.methods); err != nil {
 		return nil, err
@@ -113,6 +125,12 @@ func (a *Arena) run(cfg Config, retain bool) (*Result, error) {
 		a.sel = route.NewSelectorWindow(n, cfg.LossWindow)
 	} else {
 		a.sel.Reset(cfg.LossWindow)
+	}
+	if cfg.Policy == PolicyLandmark {
+		if a.plan == nil || a.plan.N() != n {
+			a.plan = route.NewLandmarkPlan(n)
+		}
+		a.sel.SetPlan(a.plan)
 	}
 	var agg *analysis.Aggregator
 	if retain {
@@ -144,6 +162,7 @@ func (a *Arena) run(cfg Config, retain bool) (*Result, error) {
 	c.tb = a.tb
 	c.nw = a.nw
 	c.sel = a.sel
+	c.plan = a.sel.Plan()
 	c.agg = agg
 	c.rng = &a.rng
 	c.methods = a.methods

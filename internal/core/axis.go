@@ -67,6 +67,10 @@ type AxisDef struct {
 	Usage string
 	// Default is the derived flag's default value list (e.g. "0").
 	Default string
+	// Flag optionally overrides the derived CLI flag name when the
+	// friendly flag differs from the axis identity (the "overlaysize"
+	// axis registers as -nodes). Empty means the flag is the axis name.
+	Flag string
 	// New constructs the axis over the given values, validating and
 	// canonicalizing them. It is how manifests and CLIs rebuild axes
 	// from strings.
@@ -480,19 +484,19 @@ func init() {
 	})
 	RegisterAxis(AxisDef{
 		Name:    "hysteresis",
-		Usage:   "sweep: comma-separated hysteresis margins for the grid",
+		Usage:   "comma-separated hysteresis margins for the grid",
 		Default: "0",
 		New:     scalarFactory("hysteresis", parseHysteresis, formatHysteresis, HysteresisAxis),
 	})
 	RegisterAxis(AxisDef{
 		Name:    "probeinterval",
-		Usage:   "sweep: comma-separated routing-probe intervals (Go durations; 0 = dataset default)",
+		Usage:   "comma-separated routing-probe intervals (Go durations; 0 = dataset default)",
 		Default: "0",
 		New:     scalarFactory("probeinterval", parseProbeInterval, time.Duration.String, ProbeIntervalAxis),
 	})
 	RegisterAxis(AxisDef{
 		Name:    "losswindow",
-		Usage:   "sweep: comma-separated selection-window sizes in probes (0 = default)",
+		Usage:   "comma-separated selection-window sizes in probes (0 = default)",
 		Default: "0",
 		New:     scalarFactory("losswindow", parseLossWindow, strconv.Itoa, LossWindowAxis),
 	})

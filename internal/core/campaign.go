@@ -40,6 +40,7 @@ type campaign struct {
 	tb      *topo.Testbed
 	nw      *netsim.Network
 	sel     *route.Selector
+	plan    *route.LandmarkPlan // nil = full-mesh probing
 	agg     *analysis.Aggregator
 	rng     *netsim.Source
 	methods []route.Method
@@ -94,17 +95,34 @@ func Run(cfg Config) (*Result, error) {
 func (c *campaign) seed() {
 	n := c.tb.N()
 	interval := c.probeIvl
-	c.probes.presize(n * (n - 1))
-	for s := 0; s < n; s++ {
-		for d := 0; d < n; d++ {
-			if s == d {
-				continue
+	if c.plan != nil {
+		// Landmark policy: only planned links carry probe streams —
+		// O(n·√n) of them instead of n(n-1). Row-major order like the
+		// full mesh, so fullmesh cells (plan == nil) keep the exact
+		// historical RNG draw order.
+		c.probes.presize(c.plan.PlannedLinks())
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d || !c.plan.Probes(s, d) {
+					continue
+				}
+				phase := netsim.Time(c.rng.Float64() * float64(interval))
+				c.probes.add(phase, int32(s), int32(d), c.queue.takeSeq())
 			}
-			phase := netsim.Time(c.rng.Float64() * float64(interval))
-			// Sequence numbers are consumed in the same order the
-			// retired engine pushed these events, so ties against
-			// queued events resolve identically.
-			c.probes.add(phase, int32(s), int32(d), c.queue.takeSeq())
+		}
+	} else {
+		c.probes.presize(n * (n - 1))
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				phase := netsim.Time(c.rng.Float64() * float64(interval))
+				// Sequence numbers are consumed in the same order the
+				// retired engine pushed these events, so ties against
+				// queued events resolve identically.
+				c.probes.add(phase, int32(s), int32(d), c.queue.takeSeq())
+			}
 		}
 	}
 	c.probes.start(interval)
@@ -199,7 +217,7 @@ func (c *campaign) loop() {
 // loop knows its cached queue head is stale).
 func (c *campaign) ronProbe(t netsim.Time, s, d int) bool {
 	c.res.RONProbes++
-	o := c.nw.Send(t, netsim.Direct(s, d))
+	o := c.nw.SendDirect(t, s, d)
 	c.sel.Record(s, d, !o.Delivered, o.Latency.Duration())
 	if !o.Delivered {
 		c.queue.push(event{t: t + netsim.Second, kind: evRONFollowUp,
@@ -213,7 +231,7 @@ func (c *campaign) ronProbe(t netsim.Time, s, d int) bool {
 // stopping early on success (§3.1).
 func (c *campaign) ronFollowUp(t netsim.Time, s, d int, k uint8) {
 	c.res.RONProbes++
-	o := c.nw.Send(t, netsim.Direct(s, d))
+	o := c.nw.SendDirect(t, s, d)
 	c.sel.Record(s, d, !o.Delivered, o.Latency.Duration())
 	if !o.Delivered && k < 4 {
 		c.queue.push(event{t: t + netsim.Second, kind: evRONFollowUp,
@@ -350,7 +368,7 @@ func (c *campaign) emitTrace(kind trace.Kind, node, peer int, id uint64,
 // response is lost — rare — the uncongested base latency stands in so the
 // RTT sample is not discarded.
 func (c *campaign) reverseLatency(t netsim.Time, from, to int) time.Duration {
-	o := c.nw.Send(t, netsim.Direct(from, to))
+	o := c.nw.SendDirect(t, from, to)
 	if o.Delivered {
 		return o.Latency.Duration()
 	}

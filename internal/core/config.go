@@ -94,6 +94,15 @@ type Config struct {
 	Profile *netsim.Profile
 	// Methods overrides the dataset's method set (nil = paper's set).
 	Methods []route.Method
+	// Nodes, when > 0, replaces the dataset's paper testbed with an
+	// n-host synthetic topology (topo.Synthetic) — the overlaysize axis.
+	// 0 keeps the paper testbed and runs bit-identically to builds that
+	// predate the knob.
+	Nodes int
+	// Policy selects the probing/route-scan policy (the policy axis):
+	// PolicyFullMesh (default, the paper's O(n²) probing) or
+	// PolicyLandmark (O(n·√n) probing with landmark-restricted vias).
+	Policy Policy
 
 	// ProbeInterval is the RON routing-probe interval; the paper's
 	// system probes every pair every 15 seconds (§3.1).
@@ -154,8 +163,14 @@ func DefaultConfig(d Dataset, days float64) Config {
 	}
 }
 
-// testbed returns the dataset's host set.
+// testbed returns the dataset's host set. With Nodes > 0 the paper
+// testbed is replaced by the canonical synthetic world of that size —
+// derivable from the Config alone, which is what lets snapshots and
+// arenas re-derive the topology from recorded axis values.
 func (c Config) testbed() *topo.Testbed {
+	if c.Nodes > 0 {
+		return topo.Synthetic(c.Nodes)
+	}
 	if c.Dataset == RON2003 {
 		return topo.RON2003()
 	}
@@ -175,6 +190,21 @@ func (c Config) methods() []route.Method {
 	default:
 		return route.RON2003Methods()
 	}
+}
+
+// validateTopology bounds-checks the overlay-size and policy knobs. It
+// is split from validate so the arena can reject a bad topology before
+// constructing it.
+func (c Config) validateTopology() error {
+	if c.Nodes != 0 {
+		if err := topo.ValidateSyntheticSize(c.Nodes); err != nil {
+			return err
+		}
+		if err := route.ValidateMeshSize(c.Nodes); err != nil {
+			return err
+		}
+	}
+	return c.Policy.validate()
 }
 
 // roundTrip reports whether latency samples are round-trip times
@@ -200,6 +230,9 @@ func (c Config) validate(methods []route.Method) error {
 	if c.MeasureGapMin <= 0 || c.MeasureGapMax < c.MeasureGapMin {
 		return fmt.Errorf("core: measurement gap [%v,%v] invalid",
 			c.MeasureGapMin, c.MeasureGapMax)
+	}
+	if err := c.validateTopology(); err != nil {
+		return err
 	}
 	for _, m := range methods {
 		if err := m.Validate(); err != nil {

@@ -104,7 +104,7 @@ func ScenarioAxis(values ...string) Axis {
 func init() {
 	RegisterAxis(AxisDef{
 		Name:    "scenario",
-		Usage:   "sweep: comma-separated failure-scenario presets (0 = none)",
+		Usage:   "comma-separated failure-scenario presets (0 = none)",
 		Default: "0",
 		New:     scalarFactory("scenario", parseScenario, formatScenario, ScenarioAxis),
 	})

@@ -245,19 +245,19 @@ func StreamsAxis(values ...int) Axis {
 func init() {
 	RegisterAxis(AxisDef{
 		Name:    "redundancy",
-		Usage:   "sweep: comma-separated FEC redundancy rates m/k (0 = workload off/default)",
+		Usage:   "comma-separated FEC redundancy rates m/k (0 = workload off/default)",
 		Default: "0",
 		New:     scalarFactory("redundancy", parseRedundancy, formatRedundancy, RedundancyAxis),
 	})
 	RegisterAxis(AxisDef{
 		Name:    "paths",
-		Usage:   "sweep: comma-separated disjoint-path counts for workload striping (0 = workload off/default)",
+		Usage:   "comma-separated disjoint-path counts for workload striping (0 = workload off/default)",
 		Default: "0",
 		New:     scalarFactory("paths", parsePathCount, strconv.Itoa, PathCountAxis),
 	})
 	RegisterAxis(AxisDef{
 		Name:    "streams",
-		Usage:   "sweep: comma-separated workload stream counts (0 = workload off/default)",
+		Usage:   "comma-separated workload stream counts (0 = workload off/default)",
 		Default: "0",
 		New:     scalarFactory("streams", parseStreams, strconv.Itoa, StreamsAxis),
 	})

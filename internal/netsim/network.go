@@ -24,9 +24,13 @@ type Network struct {
 	global *globalModulator
 	// slab backs every component; Reset rebuilds components in place so
 	// successive campaigns through one Network allocate nothing.
-	slab    []Component
-	access  []*Component   // one per host
-	bb      [][]*Component // upper-triangular: bb[i][j] for i<j
+	slab   []Component
+	access []*Component // one per host
+	// bb[i*n+j] is the backbone component of pair {i,j} (both orders
+	// alias one component). A flat slab keeps the O(n²) probe storm's
+	// lookups on one cache-friendly array — at n=1024 the nested
+	// [][]*Component layout cost a pointer chase per packet.
+	bb      []*Component
 	all     []*Component
 	nextPkt uint64
 	// defProf caches the DefaultProfile built for a nil-profile Reset,
@@ -38,7 +42,7 @@ type Network struct {
 	// from inflate so the hot path reads a flat array instead of
 	// recomputing the float product per traversal.
 	base []Time
-	// inflate[i][j] is the static route-inflation factor of the direct
+	// inflate[i*n+j] is the static route-inflation factor of the direct
 	// i↔j path: BGP policy routing frequently takes detours, so the
 	// direct path's propagation delay exceeds the geographic floor and
 	// sometimes exceeds a two-hop overlay composition ("the route taken
@@ -46,7 +50,7 @@ type Network struct {
 	// this, a coordinate-derived latency matrix would satisfy the
 	// triangle inequality and latency-optimized overlay routing could
 	// never win.
-	inflate [][]float64
+	inflate []float64
 }
 
 // New builds a simulated network over the testbed with the given profile
@@ -85,12 +89,8 @@ func (nw *Network) Reset(tb *topo.Testbed, prof *Profile, seed uint64) {
 		nw.slab = make([]Component, n+n*(n-1)/2)
 		nw.all = make([]*Component, 0, len(nw.slab))
 		nw.access = make([]*Component, n)
-		nw.bb = make([][]*Component, n)
-		nw.inflate = make([][]float64, n)
-		for i := 0; i < n; i++ {
-			nw.bb[i] = make([]*Component, n)
-			nw.inflate[i] = make([]float64, n)
-		}
+		nw.bb = make([]*Component, n*n)
+		nw.inflate = make([]float64, n*n)
 		nw.base = make([]Time, n*n)
 	} else {
 		nw.all = nw.all[:0]
@@ -117,20 +117,20 @@ func (nw *Network) Reset(tb *topo.Testbed, prof *Profile, seed uint64) {
 			c := &nw.slab[id]
 			c.init(id, combine(seed, 0xBBBB, uint64(i)<<16|uint64(j)),
 				ClassBackbone, prof, params, nw.global)
-			nw.bb[i][j] = c
-			nw.bb[j][i] = c
+			nw.bb[i*n+j] = c
+			nw.bb[j*n+i] = c
 			nw.all = append(nw.all, c)
 			id++
 
 			f := drawInflation(&infRng)
-			nw.inflate[i][j] = f
-			nw.inflate[j][i] = f
+			nw.inflate[i*n+j] = f
+			nw.inflate[j*n+i] = f
 		}
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i != j {
-				nw.base[i*n+j] = Time(float64(nw.tb.BaseOneWay(i, j)) * nw.inflate[i][j])
+				nw.base[i*n+j] = Time(float64(nw.tb.BaseOneWay(i, j)) * nw.inflate[i*n+j])
 			}
 		}
 	}
@@ -186,7 +186,9 @@ func (nw *Network) Profile() *Profile { return nw.prof }
 func (nw *Network) AccessComponent(i int) *Component { return nw.access[i] }
 
 // BackboneComponent returns the backbone component between hosts i and j.
-func (nw *Network) BackboneComponent(i, j int) *Component { return nw.bb[i][j] }
+func (nw *Network) BackboneComponent(i, j int) *Component {
+	return nw.bb[i*nw.tb.N()+j]
+}
 
 // Route describes an overlay-level path: the direct Internet path from Src
 // to Dst, or the one-intermediate path via Via (the paper's overlay
@@ -286,6 +288,10 @@ func (nw *Network) SendKeyed(t Time, r Route, pktKey uint64) Outcome {
 	// — inbound and outbound — separated by the overlay node's
 	// forwarding delay; that shared crossing is a deliberate part of
 	// the model (§2.4's shared edge infrastructure).
+	if r.IsDirect() {
+		return nw.sendDirect(t, r.Src, r.Dst, pktKey)
+	}
+	n := nw.tb.N()
 	var lat Time
 	var drop bool
 	var extra Time
@@ -298,22 +304,10 @@ func (nw *Network) SendKeyed(t Time, r Route, pktKey uint64) Outcome {
 		lat += extra
 		return nil, false
 	}
-	if r.IsDirect() {
-		if c, dropped := step(nw.access[r.Src], 0, 0); dropped {
-			return Outcome{DroppedAt: c.id, DropClass: c.class}
-		}
-		if c, dropped := step(nw.bb[r.Src][r.Dst], nw.pairBase(r.Src, r.Dst), 1); dropped {
-			return Outcome{DroppedAt: c.id, DropClass: c.class}
-		}
-		if c, dropped := step(nw.access[r.Dst], 0, 2); dropped {
-			return Outcome{DroppedAt: c.id, DropClass: c.class}
-		}
-		return Outcome{Delivered: true, Latency: lat, DroppedAt: NoComponent}
-	}
 	if c, dropped := step(nw.access[r.Src], 0, 0); dropped {
 		return Outcome{DroppedAt: c.id, DropClass: c.class}
 	}
-	if c, dropped := step(nw.bb[r.Src][r.Via], nw.pairBase(r.Src, r.Via), 1); dropped {
+	if c, dropped := step(nw.bb[r.Src*n+r.Via], nw.pairBase(r.Src, r.Via), 1); dropped {
 		return Outcome{DroppedAt: c.id, DropClass: c.class}
 	}
 	if c, dropped := step(nw.access[r.Via], 0, 2); dropped {
@@ -322,13 +316,55 @@ func (nw *Network) SendKeyed(t Time, r Route, pktKey uint64) Outcome {
 	if c, dropped := step(nw.access[r.Via], Time(nw.prof.ForwardingDelay), 3); dropped {
 		return Outcome{DroppedAt: c.id, DropClass: c.class}
 	}
-	if c, dropped := step(nw.bb[r.Via][r.Dst], nw.pairBase(r.Via, r.Dst), 4); dropped {
+	if c, dropped := step(nw.bb[r.Via*n+r.Dst], nw.pairBase(r.Via, r.Dst), 4); dropped {
 		return Outcome{DroppedAt: c.id, DropClass: c.class}
 	}
 	if c, dropped := step(nw.access[r.Dst], 0, 5); dropped {
 		return Outcome{DroppedAt: c.id, DropClass: c.class}
 	}
 	return Outcome{Delivered: true, Latency: lat, DroppedAt: NoComponent}
+}
+
+// SendDirect transmits one packet along the direct src→dst path with a
+// freshly allocated packet key. It is Send(t, Direct(src, dst)) with the
+// traversal fused: no Route value, no per-hop closure — the three-hop
+// body runs straight-line. In a big-world campaign the O(n²) probe storm
+// is almost entirely direct sends, so this is the simulator's hottest
+// entry point. Outcomes are bit-identical to Send on the same schedule.
+func (nw *Network) SendDirect(t Time, src, dst int) Outcome {
+	n := nw.tb.N()
+	if uint(src) >= uint(n) || uint(dst) >= uint(n) || src == dst {
+		panic(fmt.Sprintf("netsim: invalid direct route %d→%d for %d hosts",
+			src, dst, n))
+	}
+	return nw.sendDirect(t, src, dst, nw.NextPacketKey())
+}
+
+// sendDirect is the shared fused direct-path traversal: source access
+// complex, pair backbone (owning the propagation floor), destination
+// access complex — the same sequence, traversal indices, and arrival
+// times as SendKeyed's unrolled direct branch historically used.
+func (nw *Network) sendDirect(t Time, src, dst int, pktKey uint64) Outcome {
+	c := nw.access[src]
+	drop, extra := c.Transit(t, pktKey, 0)
+	if drop {
+		return Outcome{DroppedAt: c.id, DropClass: c.class}
+	}
+	lat := extra
+	pair := src*nw.tb.N() + dst
+	c = nw.bb[pair]
+	lat += nw.base[pair]
+	drop, extra = c.Transit(t+lat, pktKey, 1)
+	if drop {
+		return Outcome{DroppedAt: c.id, DropClass: c.class}
+	}
+	lat += extra
+	c = nw.access[dst]
+	drop, extra = c.Transit(t+lat, pktKey, 2)
+	if drop {
+		return Outcome{DroppedAt: c.id, DropClass: c.class}
+	}
+	return Outcome{Delivered: true, Latency: lat + extra, DroppedAt: NoComponent}
 }
 
 // BaseLatency returns the uncongested one-way latency of a route

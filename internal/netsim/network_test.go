@@ -307,3 +307,40 @@ func TestEffectiveMeanGoodKnobs(t *testing.T) {
 		t.Errorf("MeanGood floor violated: %v", got)
 	}
 }
+
+// TestSendDirectMatchesSend pins the fused direct path against the
+// generic routed send: two same-seed networks driven by the same
+// schedule — one through SendDirect, one through Send(Direct) — must
+// produce identical outcomes and identical packet-key streams.
+func TestSendDirectMatchesSend(t *testing.T) {
+	a, b := testNetwork(11), testNetwork(11)
+	for i := 0; i < 5000; i++ {
+		tm := Time(i) * 20 * Millisecond
+		src, dst := i%30, (i+11)%30
+		if src == dst {
+			continue
+		}
+		oa := a.SendDirect(tm, src, dst)
+		ob := b.Send(tm, Direct(src, dst))
+		if oa != ob {
+			t.Fatalf("step %d: SendDirect %+v != Send %+v", i, oa, ob)
+		}
+	}
+	if ka, kb := a.NextPacketKey(), b.NextPacketKey(); ka != kb {
+		t.Fatalf("packet-key streams diverged: %#x vs %#x", ka, kb)
+	}
+}
+
+func TestSendDirectPanicsOnBadRoute(t *testing.T) {
+	nw := testNetwork(1)
+	for _, p := range [][2]int{{2, 2}, {-1, 3}, {0, 30}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SendDirect(%d,%d): no panic", p[0], p[1])
+				}
+			}()
+			nw.SendDirect(0, p[0], p[1])
+		}()
+	}
+}

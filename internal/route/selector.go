@@ -79,6 +79,45 @@ type Selector struct {
 	colLoss   []float64
 	colLat    []time.Duration
 	colLatAdj []time.Duration
+
+	// plan, when non-nil, restricts via candidates to its landmark set
+	// (the landmark policy). nil — the default — scans every node, the
+	// paper's behavior.
+	plan *LandmarkPlan
+	// Landmark-scan scratch (sized by SetPlan; L = landmark count):
+	// lmCol* are compact column-major copies of the landmark rows of the
+	// metrics cache (entry dst*L+li mirrors m*[landmark[li]*n+dst]), and
+	// srcLm* hold the current source row gathered over landmarks, so the
+	// O(√n) via scans read contiguous arrays.
+	lmColLoss   []float64
+	lmColLat    []time.Duration
+	lmColLatAdj []time.Duration
+	srcLmLoss   []float64
+	srcLmLat    []time.Duration
+	srcLmLatAdj []time.Duration
+
+	// Incremental snapshot state. Record (and Link, conservatively —
+	// callers may mutate through the returned pointer) marks links
+	// touched; SnapshotInto re-derives only pairs whose inputs — the
+	// source row or destination column of the metrics cache — contain a
+	// touched link, against the retained lastLoss/lastLat tables. A pair
+	// whose inputs are unchanged would recompute to exactly its previous
+	// selection (and leave its hysteresis state unchanged: an equal-value
+	// challenger never beats the margin), so skipping it is exact;
+	// snapshot_equiv_test.go pins equality against full rescans.
+	linkTouched  []bool  // since the last snapshot
+	touchedLinks []int32 // indices with linkTouched set, append order
+	usedMark     []bool  // since Reset — the O(touched) Reset work list
+	usedList     []int32
+	dirtyRow     []bool // per-source scratch, clear outside SnapshotInto
+	dirtyCol     []bool // per-destination scratch
+	dirtyRows    []int32
+	dirtyCols    []int32
+	lastLoss     []int32 // retained tables from the last snapshot
+	lastLat      []int32
+	lastValid    bool
+	metricsValid bool // metrics cache mirrors every estimate
+	recorded     bool // any Record/Link since Reset
 }
 
 // latDead is the sentinel latency of a dead link in mLatAdj: far above
@@ -97,8 +136,8 @@ func NewSelector(n int) *Selector { return NewSelectorWindow(n, 0) }
 // the given number of probes ("the average loss rate over the last 100
 // probes", §3.1); window <= 0 selects DefaultLossWindow.
 func NewSelectorWindow(n, window int) *Selector {
-	if n < 2 {
-		panic("route: selector needs at least 2 nodes")
+	if err := ValidateMeshSize(n); err != nil {
+		panic(err)
 	}
 	s := &Selector{n: n}
 	s.Reset(window)
@@ -118,7 +157,12 @@ func (s *Selector) Reset(window int) {
 	n := s.n
 	s.fallbackLat = 500 * time.Millisecond
 	s.hysteresis = 0
-	if s.est == nil {
+	s.plan = nil
+	s.lastValid = false
+	s.metricsValid = false
+	s.recorded = false
+	switch {
+	case s.est == nil:
 		s.est = make([]LinkEstimate, n*n)
 		s.mLoss = make([]float64, n*n)
 		s.mLat = make([]time.Duration, n*n)
@@ -133,29 +177,51 @@ func (s *Selector) Reset(window int) {
 		s.colLoss = make([]float64, n)
 		s.colLat = make([]time.Duration, n)
 		s.colLatAdj = make([]time.Duration, n)
-	} else {
-		// The metrics scratch needs no re-zeroing: refreshMetrics fully
-		// rewrites every off-diagonal entry before any read, and the
-		// diagonal sentinels are never overwritten. The estimates do:
-		// clear, then re-init below, reproduces the fresh zero state.
-		clear(s.est)
-	}
-	// One backing array for every ring keeps the n² windows dense in
-	// memory and (re)construction at O(1) allocations.
-	if len(s.rings) != n*n*window {
+		s.linkTouched = make([]bool, n*n)
+		s.usedMark = make([]bool, n*n)
+		s.touchedLinks = make([]int32, 0, n*n)
+		s.usedList = make([]int32, 0, n*n)
+		s.dirtyRow = make([]bool, n)
+		s.dirtyCol = make([]bool, n)
+		s.dirtyRows = make([]int32, 0, n)
+		s.dirtyCols = make([]int32, 0, n)
+		s.lastLoss = make([]int32, n*n)
+		s.lastLat = make([]int32, n*n)
 		s.rings = make([]bool, n*n*window)
-	} else {
-		clear(s.rings)
-	}
-	s.window = window
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			idx := i*n + j
-			s.est[idx].init(s.rings[idx*window : (idx+1)*window])
+		s.window = window
+		s.initEstimates()
+	case window == s.window:
+		// Same-window turnover is O(touched): only links marked used
+		// since the last Reset hold any state — every other estimate
+		// (and its ring segment) is still exactly as initEstimates left
+		// it, so re-zeroing just the used ones reproduces the fresh
+		// state without walking the n²·window slab.
+		for _, li := range s.usedList {
+			idx := int(li)
+			s.usedMark[idx] = false
+			s.linkTouched[idx] = false
+			ring := s.rings[idx*window : (idx+1)*window]
+			clear(ring)
+			s.est[idx] = LinkEstimate{}
+			s.est[idx].init(ring)
 		}
+		s.usedList = s.usedList[:0]
+		s.touchedLinks = s.touchedLinks[:0]
+	default:
+		// Window change: the rings must be re-carved, which re-points
+		// every estimate — the one remaining O(capacity) path.
+		clear(s.est)
+		if len(s.rings) != n*n*window {
+			s.rings = make([]bool, n*n*window)
+		} else {
+			clear(s.rings)
+		}
+		s.window = window
+		s.initEstimates()
+		clear(s.linkTouched)
+		clear(s.usedMark)
+		s.touchedLinks = s.touchedLinks[:0]
+		s.usedList = s.usedList[:0]
 	}
 	// Hysteresis state buffers survive for reuse but must look freshly
 	// allocated (-1 = "no held path") if SetHysteresis re-enables them.
@@ -165,22 +231,95 @@ func (s *Selector) Reset(window int) {
 	}
 }
 
+// initEstimates (re)points every off-diagonal estimate at its segment
+// of the backing ring array. One backing array for every ring keeps the
+// n² windows dense in memory and (re)construction at O(1) allocations.
+func (s *Selector) initEstimates() {
+	n, window := s.n, s.window
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			idx := i*n + j
+			s.est[idx].init(s.rings[idx*window : (idx+1)*window])
+		}
+	}
+}
+
 // N returns the mesh size.
 func (s *Selector) N() int { return s.n }
 
 // Link returns the estimate for the directed link src→dst, or nil on the
-// diagonal.
+// diagonal. The link is marked touched: callers may mutate the estimate
+// through the returned pointer (the overlay's gossip path does), and a
+// conservative mark only costs the incremental snapshot a recompute it
+// could have skipped — never a stale selection.
 func (s *Selector) Link(src, dst int) *LinkEstimate {
 	if src == dst {
 		return nil
 	}
-	return &s.est[src*s.n+dst]
+	idx := src*s.n + dst
+	s.touch(idx)
+	return &s.est[idx]
 }
 
 // Record folds one probe outcome for the directed link src→dst.
 func (s *Selector) Record(src, dst int, lost bool, lat time.Duration) {
-	s.est[src*s.n+dst].Record(lost, lat)
+	idx := src*s.n + dst
+	s.est[idx].Record(lost, lat)
+	s.touch(idx)
 }
+
+// touch marks a link changed since the last snapshot (and used since
+// Reset). Both lists are deduplicated by their mark arrays, so the hot
+// path pays one predictable branch per probe after the first touch of
+// an interval.
+func (s *Selector) touch(idx int) {
+	s.recorded = true
+	if !s.linkTouched[idx] {
+		s.linkTouched[idx] = true
+		s.touchedLinks = append(s.touchedLinks, int32(idx))
+		if !s.usedMark[idx] {
+			s.usedMark[idx] = true
+			s.usedList = append(s.usedList, int32(idx))
+		}
+	}
+}
+
+// SetPlan restricts via candidates to the plan's landmark set (nil
+// restores full-mesh scanning) and sizes the landmark scratch. Changing
+// the plan invalidates the retained snapshot state: the next
+// SnapshotInto recomputes everything under the new candidate set.
+func (s *Selector) SetPlan(p *LandmarkPlan) {
+	if p != nil && p.n != s.n {
+		panic(fmt.Sprintf("route: plan for %d nodes applied to %d-node selector", p.n, s.n))
+	}
+	s.plan = p
+	s.metricsValid = false
+	s.lastValid = false
+	if p == nil {
+		return
+	}
+	L := len(p.landmarks)
+	if cap(s.lmColLoss) < s.n*L {
+		s.lmColLoss = make([]float64, s.n*L)
+		s.lmColLat = make([]time.Duration, s.n*L)
+		s.lmColLatAdj = make([]time.Duration, s.n*L)
+		s.srcLmLoss = make([]float64, L)
+		s.srcLmLat = make([]time.Duration, L)
+		s.srcLmLatAdj = make([]time.Duration, L)
+	}
+	s.lmColLoss = s.lmColLoss[:s.n*L]
+	s.lmColLat = s.lmColLat[:s.n*L]
+	s.lmColLatAdj = s.lmColLatAdj[:s.n*L]
+	s.srcLmLoss = s.srcLmLoss[:L]
+	s.srcLmLat = s.srcLmLat[:L]
+	s.srcLmLatAdj = s.srcLmLatAdj[:L]
+}
+
+// Plan returns the active probe/scan plan (nil = full mesh).
+func (s *Selector) Plan() *LandmarkPlan { return s.plan }
 
 // pathLoss composes two link loss rates into a path loss rate assuming
 // link independence: 1-(1-a)(1-b). (The whole point of the paper is that
@@ -206,7 +345,8 @@ func (s *Selector) BestLoss(src, dst int) Choice {
 		Latency: direct.LatencyEstimate(s.fallbackLat),
 	}
 	best := directChoice
-	for via := 0; via < s.n; via++ {
+	for vi, stop := s.viaRange(); vi < stop; vi++ {
+		via := s.viaAt(vi)
 		if via == src || via == dst {
 			continue
 		}
@@ -224,6 +364,23 @@ func (s *Selector) BestLoss(src, dst int) Choice {
 	return best
 }
 
+// viaRange/viaAt iterate the via candidate set: every node under full
+// mesh, the landmark list under a plan. Both lists are ascending, so
+// restricting the set preserves tie-break order.
+func (s *Selector) viaRange() (int, int) {
+	if s.plan != nil {
+		return 0, len(s.plan.landmarks)
+	}
+	return 0, s.n
+}
+
+func (s *Selector) viaAt(i int) int {
+	if s.plan != nil {
+		return int(s.plan.landmarks[i])
+	}
+	return i
+}
+
 // BestLat returns the latency-optimized path from src to dst, skipping
 // completely failed links ("minimizes latency and avoids completely
 // failed links", §4). If every candidate path crosses a dead link, the
@@ -232,7 +389,8 @@ func (s *Selector) BestLat(src, dst int) Choice {
 	direct := &s.est[src*s.n+dst]
 	best := Choice{Via: -1, Loss: direct.LossRate(), Latency: direct.LatencyEstimate(s.fallbackLat)}
 	bestAlive := !direct.Dead()
-	for via := 0; via < s.n; via++ {
+	for vi, stop := s.viaRange(); vi < stop; vi++ {
+		via := s.viaAt(vi)
 		if via == src || via == dst {
 			continue
 		}
@@ -321,31 +479,315 @@ func (s *Selector) Snapshot() Tables {
 // hysteresis is enabled the damped (BestLossStable/BestLatStable)
 // selections are used; without it the plain ones, identically to
 // Snapshot's historical behavior.
+//
+// Snapshots are incremental: selections are maintained in retained
+// tables and only pairs whose inputs changed since the last snapshot —
+// a touched link in their source row or destination column — are
+// re-derived. Three tiers, cheapest first: a virgin mesh (no estimate
+// ever touched) fills the all-direct tables without even building the
+// metrics cache; a mesh with valid metrics re-derives only dirty pairs;
+// anything else (first real snapshot, or after Reset / SetPlan /
+// SetFallbackLatency / SetHysteresis) does the full rescan. Every tier
+// produces bit-identical tables to the full rescan.
 func (s *Selector) SnapshotInto(t *Tables) {
 	n := s.n
 	t.reshape(n)
-	s.refreshMetrics()
+	switch {
+	case !s.recorded:
+		// Virgin: every estimate is in its initial state, so every pair
+		// selects the direct path — loss 0 hits the quiet-mesh shortcut,
+		// and any via path costs 2× the direct fallback latency. With
+		// hysteresis the held path is already direct (-1) and a tied
+		// challenger never beats the margin, so prev state is unchanged
+		// too — exactly what the full rescan would do.
+		if !s.lastValid {
+			for i := range s.lastLoss {
+				s.lastLoss[i] = -1
+				s.lastLat[i] = -1
+			}
+			s.lastValid = true
+		}
+	case !s.metricsValid:
+		s.refreshMetrics()
+		if s.plan != nil {
+			s.gatherPlanCols()
+		}
+		s.metricsValid = true
+		s.clearTouched()
+		s.rescanAll()
+		s.lastValid = true
+	case len(s.touchedLinks) > 0:
+		s.rescanDirty()
+	}
+	copy(t.lossVia, s.lastLoss)
+	copy(t.latVia, s.lastLat)
+}
+
+// clearTouched drops the pending touched-links list (their effect is
+// covered by a full rescan).
+func (s *Selector) clearTouched() {
+	for _, li := range s.touchedLinks {
+		s.linkTouched[li] = false
+	}
+	s.touchedLinks = s.touchedLinks[:0]
+}
+
+// rescanAll re-derives every pair's selection into the retained tables.
+func (s *Selector) rescanAll() {
+	n := s.n
+	if s.plan != nil {
+		// Source-major: the source row's landmark entries are gathered
+		// once per src, and each destination's landmark column lives
+		// contiguously in the lmCol scratch.
+		for src := 0; src < n; src++ {
+			s.gatherPlanRow(src)
+			row := src * n
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					s.lastLoss[row+dst] = -1
+					s.lastLat[row+dst] = -1
+					continue
+				}
+				s.lastLoss[row+dst] = int32(s.holdLoss(src, dst, s.bestLossPlan(src, dst)))
+				s.lastLat[row+dst] = int32(s.holdLat(src, dst, s.bestLatPlan(src, dst)))
+			}
+		}
+		return
+	}
 	// Destination-major order so each destination's metrics column is
 	// gathered once into contiguous scratch for the n src scans. The
 	// per-pair selections are independent, so iteration order does not
 	// affect the result.
 	for dst := 0; dst < n; dst++ {
-		for via := 0; via < n; via++ {
-			s.colLoss[via] = s.mLoss[via*n+dst]
-			s.colLat[via] = s.mLat[via*n+dst]
-			s.colLatAdj[via] = s.mLatAdj[via*n+dst]
-		}
+		s.gatherCol(dst)
 		for src := 0; src < n; src++ {
 			idx := src*n + dst
 			if src == dst {
-				t.lossVia[idx] = -1
-				t.latVia[idx] = -1
+				s.lastLoss[idx] = -1
+				s.lastLat[idx] = -1
 				continue
 			}
-			t.lossVia[idx] = int32(s.snapLossVia(src, dst))
-			t.latVia[idx] = int32(s.snapLatVia(src, dst))
+			s.lastLoss[idx] = int32(s.snapLossVia(src, dst))
+			s.lastLat[idx] = int32(s.snapLatVia(src, dst))
 		}
 	}
+}
+
+// gatherCol copies destination dst's metrics column into the contiguous
+// column scratch.
+func (s *Selector) gatherCol(dst int) {
+	n := s.n
+	for via := 0; via < n; via++ {
+		s.colLoss[via] = s.mLoss[via*n+dst]
+		s.colLat[via] = s.mLat[via*n+dst]
+		s.colLatAdj[via] = s.mLatAdj[via*n+dst]
+	}
+}
+
+// rescanDirty refreshes the metrics of touched links, marks their rows
+// and columns dirty, and re-derives exactly the pairs that read a dirty
+// row or column. Pairs left alone have bit-identical inputs to the last
+// snapshot, so their retained selections (and hysteresis state) are
+// what a full rescan would recompute.
+func (s *Selector) rescanDirty() {
+	n := s.n
+	for _, li := range s.touchedLinks {
+		idx := int(li)
+		s.linkTouched[idx] = false
+		le := &s.est[idx]
+		loss := le.LossRate()
+		lat := le.LatencyEstimate(s.fallbackLat)
+		s.mLoss[idx] = loss
+		s.mLat[idx] = lat
+		adj := lat
+		if le.Dead() {
+			s.mDead[idx] = true
+			adj = latDead
+		} else {
+			s.mDead[idx] = false
+		}
+		s.mLatAdj[idx] = adj
+		src, dst := idx/n, idx%n
+		if p := s.plan; p != nil {
+			if li := p.lmIndex[src]; li >= 0 {
+				at := dst*len(p.landmarks) + int(li)
+				s.lmColLoss[at] = loss
+				s.lmColLat[at] = lat
+				s.lmColLatAdj[at] = adj
+			}
+		}
+		if !s.dirtyRow[src] {
+			s.dirtyRow[src] = true
+			s.dirtyRows = append(s.dirtyRows, int32(src))
+		}
+		if !s.dirtyCol[dst] {
+			s.dirtyCol[dst] = true
+			s.dirtyCols = append(s.dirtyCols, int32(dst))
+		}
+	}
+	s.touchedLinks = s.touchedLinks[:0]
+	if s.plan != nil {
+		s.rescanDirtyPlan()
+	} else {
+		s.rescanDirtyFull()
+	}
+	for _, r := range s.dirtyRows {
+		s.dirtyRow[r] = false
+	}
+	for _, c := range s.dirtyCols {
+		s.dirtyCol[c] = false
+	}
+	s.dirtyRows = s.dirtyRows[:0]
+	s.dirtyCols = s.dirtyCols[:0]
+}
+
+// rescanDirtyFull re-derives dirty pairs under full-mesh scanning.
+func (s *Selector) rescanDirtyFull() {
+	n := s.n
+	for dst := 0; dst < n; dst++ {
+		colDirty := s.dirtyCol[dst]
+		if !colDirty && len(s.dirtyRows) == 0 {
+			continue
+		}
+		s.gatherCol(dst)
+		if colDirty {
+			for src := 0; src < n; src++ {
+				if src == dst {
+					continue
+				}
+				idx := src*n + dst
+				s.lastLoss[idx] = int32(s.snapLossVia(src, dst))
+				s.lastLat[idx] = int32(s.snapLatVia(src, dst))
+			}
+			continue
+		}
+		for _, sr := range s.dirtyRows {
+			src := int(sr)
+			if src == dst {
+				continue
+			}
+			idx := src*n + dst
+			s.lastLoss[idx] = int32(s.snapLossVia(src, dst))
+			s.lastLat[idx] = int32(s.snapLatVia(src, dst))
+		}
+	}
+}
+
+// rescanDirtyPlan re-derives dirty pairs under the landmark plan.
+func (s *Selector) rescanDirtyPlan() {
+	n := s.n
+	for src := 0; src < n; src++ {
+		rowDirty := s.dirtyRow[src]
+		if !rowDirty && len(s.dirtyCols) == 0 {
+			continue
+		}
+		s.gatherPlanRow(src)
+		row := src * n
+		if rowDirty {
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					continue
+				}
+				s.lastLoss[row+dst] = int32(s.holdLoss(src, dst, s.bestLossPlan(src, dst)))
+				s.lastLat[row+dst] = int32(s.holdLat(src, dst, s.bestLatPlan(src, dst)))
+			}
+			continue
+		}
+		for _, dc := range s.dirtyCols {
+			dst := int(dc)
+			if src == dst {
+				continue
+			}
+			s.lastLoss[row+dst] = int32(s.holdLoss(src, dst, s.bestLossPlan(src, dst)))
+			s.lastLat[row+dst] = int32(s.holdLat(src, dst, s.bestLatPlan(src, dst)))
+		}
+	}
+}
+
+// gatherPlanCols rebuilds the compact landmark-column scratch from the
+// metrics cache (after a full refreshMetrics).
+func (s *Selector) gatherPlanCols() {
+	n := s.n
+	lms := s.plan.landmarks
+	L := len(lms)
+	for dst := 0; dst < n; dst++ {
+		base := dst * L
+		for li, lm := range lms {
+			idx := int(lm)*n + dst
+			s.lmColLoss[base+li] = s.mLoss[idx]
+			s.lmColLat[base+li] = s.mLat[idx]
+			s.lmColLatAdj[base+li] = s.mLatAdj[idx]
+		}
+	}
+}
+
+// gatherPlanRow copies source src's landmark metrics into the compact
+// row scratch.
+func (s *Selector) gatherPlanRow(src int) {
+	row := src * s.n
+	for li, lm := range s.plan.landmarks {
+		idx := row + int(lm)
+		s.srcLmLoss[li] = s.mLoss[idx]
+		s.srcLmLat[li] = s.mLat[idx]
+		s.srcLmLatAdj[li] = s.mLatAdj[idx]
+	}
+}
+
+// bestLossPlan is bestLossCached with via candidates restricted to the
+// plan's landmarks, reading the compact landmark scratch. Landmark
+// positions equal to src or dst read diagonal sentinels and lose every
+// comparison, exactly like the full scan.
+func (s *Selector) bestLossPlan(src, dst int) Choice {
+	const eps = 1e-9
+	n := s.n
+	directLoss, directLat := s.mLoss[src*n+dst], s.mLat[src*n+dst]
+	if directLoss <= eps {
+		return Choice{Via: -1, Loss: directLoss, Latency: directLat}
+	}
+	lms := s.plan.landmarks
+	L := len(lms)
+	rowLoss, rowLat := s.srcLmLoss, s.srcLmLat
+	colLoss := s.lmColLoss[dst*L : dst*L+L]
+	colLat := s.lmColLat[dst*L : dst*L+L]
+	bestVia, bestLoss, bestLat := -1, directLoss, directLat
+	for li := 0; li < L; li++ {
+		loss := pathLoss(rowLoss[li], colLoss[li])
+		if loss < bestLoss-eps {
+			bestVia, bestLoss = int(lms[li]), loss
+			bestLat = rowLat[li] + colLat[li]
+			continue
+		}
+		if bestVia >= 0 && loss < bestLoss+eps {
+			if lat := rowLat[li] + colLat[li]; lat < bestLat {
+				bestVia, bestLoss, bestLat = int(lms[li]), loss, lat
+			}
+		}
+	}
+	if directLoss <= bestLoss+eps {
+		return Choice{Via: -1, Loss: directLoss, Latency: directLat}
+	}
+	return Choice{Via: bestVia, Loss: bestLoss, Latency: bestLat}
+}
+
+// bestLatPlan is bestLatCached restricted to landmark vias.
+func (s *Selector) bestLatPlan(src, dst int) Choice {
+	n := s.n
+	lms := s.plan.landmarks
+	L := len(lms)
+	rowAdj := s.srcLmLatAdj
+	colAdj := s.lmColLatAdj[dst*L : dst*L+L]
+	bestVia, bestLat := -1, s.mLatAdj[src*n+dst]
+	for li := 0; li < L; li++ {
+		if lat := rowAdj[li] + colAdj[li]; lat < bestLat {
+			bestVia, bestLat = li, lat
+		}
+	}
+	if bestVia < 0 {
+		return Choice{Via: -1, Loss: s.mLoss[src*n+dst], Latency: s.mLat[src*n+dst]}
+	}
+	return Choice{Via: int(lms[bestVia]),
+		Loss:    pathLoss(s.srcLmLoss[bestVia], s.lmColLoss[dst*L+bestVia]),
+		Latency: bestLat}
 }
 
 // refreshMetrics caches every link's loss rate, latency estimate, and
@@ -478,7 +920,18 @@ func (s *Selector) deadCached(src, dst, via int) bool {
 // snapLossVia picks the loss table entry for one pair during a snapshot:
 // BestLossStable's logic over the metrics cache.
 func (s *Selector) snapLossVia(src, dst int) int {
-	best := s.bestLossCached(src, dst)
+	return s.holdLoss(src, dst, s.bestLossCached(src, dst))
+}
+
+// snapLatVia picks the latency table entry for one pair during a
+// snapshot: BestLatStable's logic over the metrics cache.
+func (s *Selector) snapLatVia(src, dst int) int {
+	return s.holdLat(src, dst, s.bestLatCached(src, dst))
+}
+
+// holdLoss applies loss-metric hysteresis to a freshly computed best
+// choice, updating the held path when it switches.
+func (s *Selector) holdLoss(src, dst int, best Choice) int {
 	if s.hysteresis <= 0 {
 		return best.Via
 	}
@@ -491,10 +944,9 @@ func (s *Selector) snapLossVia(src, dst int) int {
 	return best.Via
 }
 
-// snapLatVia picks the latency table entry for one pair during a
-// snapshot: BestLatStable's logic over the metrics cache.
-func (s *Selector) snapLatVia(src, dst int) int {
-	best := s.bestLatCached(src, dst)
+// holdLat applies latency-metric hysteresis to a freshly computed best
+// choice.
+func (s *Selector) holdLat(src, dst int, best Choice) int {
 	if s.hysteresis <= 0 {
 		return best.Via
 	}
@@ -512,7 +964,13 @@ func (s *Selector) snapLatVia(src, dst int) int {
 func (s *Selector) FallbackLatency() time.Duration { return s.fallbackLat }
 
 // SetFallbackLatency overrides the unmeasured-link latency penalty.
-func (s *Selector) SetFallbackLatency(d time.Duration) { s.fallbackLat = d }
+// The cached metrics and retained snapshot tables embed the old value,
+// so both are invalidated.
+func (s *Selector) SetFallbackLatency(d time.Duration) {
+	s.fallbackLat = d
+	s.metricsValid = false
+	s.lastValid = false
+}
 
 // SetHysteresis enables damped selection: a new path must improve on the
 // currently held path's metric by margin (e.g. 0.25 = 25% better) before
@@ -522,6 +980,9 @@ func (s *Selector) SetHysteresis(margin float64) {
 		margin = 0
 	}
 	s.hysteresis = margin
+	// The retained tables were derived under the old damping setting.
+	s.metricsValid = false
+	s.lastValid = false
 	if margin > 0 && s.prevLoss == nil {
 		s.prevLoss = make([]int32, s.n*s.n)
 		s.prevLat = make([]int32, s.n*s.n)
@@ -632,7 +1093,8 @@ func (s *Selector) KBestDisjointAppend(buf []Choice, src, dst, k int) []Choice {
 		Loss:    direct.LossRate(),
 		Latency: direct.LatencyEstimate(s.fallbackLat),
 	})
-	for via := 0; via < s.n; via++ {
+	for vi, stop := s.viaRange(); vi < stop; vi++ {
+		via := s.viaAt(vi)
 		if via == src || via == dst {
 			continue
 		}

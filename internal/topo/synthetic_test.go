@@ -1,0 +1,125 @@
+package topo
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSyntheticSymmetry(t *testing.T) {
+	for _, n := range []int{2, 30, 64, 257} {
+		tb := Synthetic(n)
+		if tb.N() != n {
+			t.Fatalf("n=%d: got %d hosts", n, tb.N())
+		}
+		for i := 0; i < n; i++ {
+			if tb.BaseOneWay(i, i) != 0 {
+				t.Fatalf("n=%d: nonzero self latency at %d", n, i)
+			}
+			for j := i + 1; j < n; j++ {
+				if tb.BaseOneWay(i, j) != tb.BaseOneWay(j, i) {
+					t.Fatalf("n=%d: asymmetric base latency %d↔%d: %v vs %v",
+						n, i, j, tb.BaseOneWay(i, j), tb.BaseOneWay(j, i))
+				}
+				if tb.BaseOneWay(i, j) < 500*time.Microsecond {
+					t.Fatalf("n=%d: base latency %d→%d below processing floor: %v",
+						n, i, j, tb.BaseOneWay(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestSyntheticTriangleViolationRate(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		rate := Synthetic(n).TriangleViolationRate(20000)
+		if rate <= 0 {
+			t.Errorf("n=%d: no triangle-inequality violations — the synthetic "+
+				"world is metric, overlay indirection could never help latency", n)
+		}
+		if rate > SynTriangleViolationMax {
+			t.Errorf("n=%d: triangle violation rate %.3f exceeds bound %.3f",
+				n, rate, SynTriangleViolationMax)
+		}
+	}
+}
+
+func TestSyntheticClassMix(t *testing.T) {
+	// The generator scales Table 2's census (10/7/5/5/3 of 30); at n=300
+	// the apportionment is exact.
+	tb := Synthetic(300)
+	counts := tb.CategoryCounts()
+	want := map[Kind]int{
+		KindISP: 100, KindUniversity: 70, KindCompany: 50,
+		KindIntl: 50, KindBroadband: 30,
+	}
+	for k, w := range want {
+		if counts[k] != w {
+			t.Errorf("n=300: %v count = %d, want %d", k, counts[k], w)
+		}
+	}
+	for i := 0; i < tb.N(); i++ {
+		h := tb.Host(i)
+		if h.Name != fmt.Sprintf("S%03d", i) {
+			t.Fatalf("host %d named %q", i, h.Name)
+		}
+		// Non-intl hosts embed in US metros (west of -60°), intl hosts
+		// in Europe/Asia metros (east of -30°).
+		if intl := h.Kind == KindIntl; intl != (h.LonDeg > -30) {
+			t.Fatalf("host %d kind %v at lon %.1f: wrong metro pool",
+				i, h.Kind, h.LonDeg)
+		}
+	}
+}
+
+func TestSyntheticSeedSensitivity(t *testing.T) {
+	a := SyntheticSeeded(64, 1)
+	b := SyntheticSeeded(64, 2)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different seeds produced identical testbeds")
+	}
+	if a.Fingerprint() != SyntheticSeeded(64, 1).Fingerprint() {
+		t.Fatal("same seed produced different testbeds in-process")
+	}
+}
+
+func TestSyntheticValidate(t *testing.T) {
+	for _, n := range []int{-1, 0, 1, MaxSyntheticNodes + 1} {
+		if err := ValidateSyntheticSize(n); err == nil {
+			t.Errorf("ValidateSyntheticSize(%d) = nil, want error", n)
+		} else if !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("ValidateSyntheticSize(%d) error %q lacks range hint", n, err)
+		}
+	}
+	if err := ValidateSyntheticSize(2); err != nil {
+		t.Errorf("ValidateSyntheticSize(2) = %v", err)
+	}
+	if err := ValidateSyntheticSize(MaxSyntheticNodes); err != nil {
+		t.Errorf("ValidateSyntheticSize(max) = %v", err)
+	}
+}
+
+// TestSyntheticCrossProcessDeterminism re-runs the generator in a child
+// process (the helper below) and compares fingerprints: identical (n,
+// seed) must yield bit-identical worlds across process boundaries, or
+// sharded sweep workers would disagree about the topology.
+func TestSyntheticCrossProcessDeterminism(t *testing.T) {
+	if os.Getenv("TOPO_FINGERPRINT_HELPER") == "1" {
+		fmt.Printf("fingerprint=%#x\n", Synthetic(256).Fingerprint())
+		os.Exit(0)
+	}
+	local := fmt.Sprintf("fingerprint=%#x", Synthetic(256).Fingerprint())
+	cmd := exec.Command(os.Args[0], "-test.run=TestSyntheticCrossProcessDeterminism")
+	cmd.Env = append(os.Environ(), "TOPO_FINGERPRINT_HELPER=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("helper process failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), local) {
+		t.Fatalf("cross-process fingerprint mismatch: want %s in helper output:\n%s",
+			local, out)
+	}
+}
